@@ -1,0 +1,72 @@
+"""Shared infrastructure for the per-figure benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+experiment (at a scaled-down default; set ``HYPATIA_FULL_SCALE=1`` for
+paper-scale parameters), prints the rows/series the paper reports, and
+writes them to ``results/<experiment>.txt`` so the output survives
+pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+__all__ = ["full_scale", "scaled", "write_result", "format_series",
+           "format_cdf_summary", "RESULTS_DIR"]
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def full_scale() -> bool:
+    """Whether to run paper-scale parameters (HYPATIA_FULL_SCALE=1)."""
+    return os.environ.get("HYPATIA_FULL_SCALE", "0") == "1"
+
+
+def scaled(default, full):
+    """Pick the scaled-down or paper-scale value of a parameter."""
+    return full if full_scale() else default
+
+
+def write_result(name: str, lines: Iterable[str]) -> Path:
+    """Write (and echo) one experiment's output rows."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    text = "\n".join(lines) + "\n"
+    path.write_text(text)
+    print(f"\n===== {name} =====")
+    print(text)
+    return path
+
+
+def format_series(label: str, times: Sequence[float],
+                  values: Sequence[float], unit: str = "",
+                  every: int = 1) -> List[str]:
+    """Format a time series as aligned rows."""
+    lines = [f"# {label} ({unit})" if unit else f"# {label}"]
+    for i in range(0, len(times), every):
+        value = values[i]
+        lines.append(f"{times[i]:10.2f}  {value:12.4f}")
+    return lines
+
+
+def format_cdf_summary(label: str, values: Sequence[float],
+                       unit: str = "") -> List[str]:
+    """Summarize a distribution by its key quantiles (ECDF essentials)."""
+    import numpy as np
+    arr = np.asarray(list(values), dtype=float)
+    arr = arr[np.isfinite(arr)]
+    suffix = f" {unit}" if unit else ""
+    if arr.size == 0:
+        return [f"{label}: (no finite samples)"]
+    quantiles = np.percentile(arr, [10, 25, 50, 75, 90, 100])
+    return [
+        f"{label}: n={arr.size}"
+        f" p10={quantiles[0]:.3f}{suffix}"
+        f" p25={quantiles[1]:.3f}{suffix}"
+        f" median={quantiles[2]:.3f}{suffix}"
+        f" p75={quantiles[3]:.3f}{suffix}"
+        f" p90={quantiles[4]:.3f}{suffix}"
+        f" max={quantiles[5]:.3f}{suffix}"
+    ]

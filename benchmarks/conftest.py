@@ -1,0 +1,30 @@
+"""Session fixtures shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro import Hypatia  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def kuiper() -> Hypatia:
+    """Kuiper K1 + 100 cities, the workhorse of §4-§5."""
+    return Hypatia.from_shell_name("K1", num_cities=100)
+
+
+@pytest.fixture(scope="session")
+def starlink() -> Hypatia:
+    """Starlink S1 + 100 cities."""
+    return Hypatia.from_shell_name("S1", num_cities=100)
+
+
+@pytest.fixture(scope="session")
+def telesat() -> Hypatia:
+    """Telesat T1 + 100 cities."""
+    return Hypatia.from_shell_name("T1", num_cities=100)

@@ -1,0 +1,56 @@
+"""Extension bench: coverage by latitude (quantifying Fig. 11 / §2.2).
+
+The paper's coverage claims, measured: S1 "will not extend service to
+less populated regions at high latitudes"; Kuiper "entirely eschews
+connectivity near the poles"; Telesat's T1 covers the high latitudes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Hypatia
+from repro.analysis.coverage import coverage_by_latitude
+
+from _common import write_result
+
+SHELLS = {"S1": 25.0, "K1": 30.0, "T1": 10.0}
+LATITUDES = list(range(-90, 91, 15))
+
+
+def test_extension_coverage_by_latitude(benchmark):
+    holder = {}
+
+    def sweep():
+        for shell, elevation in SHELLS.items():
+            hypatia = Hypatia.from_shell_name(shell, num_cities=1)
+            holder[shell] = coverage_by_latitude(
+                hypatia.constellation, elevation,
+                latitudes_deg=LATITUDES)
+        return len(holder)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = ["# covered fraction of (longitude, time) samples by latitude",
+            f"{'latitude':>9} " + " ".join(f"{s:>6}" for s in SHELLS)]
+    by_shell = {s: {c.latitude_deg: c for c in holder[s]} for s in SHELLS}
+    for latitude in LATITUDES:
+        rows.append(f"{latitude:8d}° " + " ".join(
+            f"{by_shell[s][latitude].covered_fraction:6.2f}"
+            for s in SHELLS))
+
+    def coverage(shell, latitude):
+        return by_shell[shell][latitude].covered_fraction
+
+    # Mid-latitudes: everyone covers them fully.
+    for shell in SHELLS:
+        assert coverage(shell, 30) == 1.0
+        assert coverage(shell, -30) == 1.0
+    # Poles: only Telesat's near-polar T1 reaches them.
+    assert coverage("T1", 90) == 1.0
+    assert coverage("K1", 90) == 0.0
+    assert coverage("S1", 90) == 0.0
+    # High latitudes (75 deg): Kuiper (i=51.9, l=30) is dark, Telesat is
+    # lit.
+    assert coverage("T1", 75) == 1.0
+    assert coverage("K1", 75) == 0.0
+    write_result("extension_coverage", rows)

@@ -1,0 +1,80 @@
+"""Fig. 10: unused bandwidth on an end-end path under cross-traffic.
+
+Paper protocol (§5.4): Kuiper K1 at 10 Mbit/s per link, long-running
+TCP-like flows on a fixed permutation of the 100 cities, shortest-path
+routing.  The measured quantity is the Rio de Janeiro-St. Petersburg
+path's unused bandwidth (capacity minus the most congested on-path link's
+utilization) at 1 s granularity, against a baseline with the network
+frozen at one instant.
+
+Substitution note: the constellation-wide traffic is run on the fluid AIMD
+engine (per DESIGN.md) rather than per-packet ns-3.  Expected shape: the
+dynamic network leaves more capacity unused than the frozen one; the paper
+reports 31% vs 11% of time with more than a third of capacity unused —
+the fluid idealization preserves the ordering and the fluctuating shape,
+at smaller magnitudes (see EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro import Hypatia, random_permutation_pairs
+from repro.analysis.bandwidth import unused_bandwidth_stats
+from repro.fluid.aimd import AimdFluidSimulation
+from repro.fluid.engine import FluidFlow
+
+from _common import scaled, write_result
+
+DURATION_S = scaled(150.0, 200.0)
+LINK_RATE_BPS = 10_000_000.0
+EPOCH_OFFSET_S = 10.0
+FREEZE_AT_S = 5.0
+
+
+def test_fig10_unused_bandwidth(benchmark):
+    hypatia = Hypatia.from_shell_name("K1", num_cities=100,
+                                      epoch_offset_s=EPOCH_OFFSET_S)
+    rio_sp = hypatia.pair("Rio de Janeiro", "Saint Petersburg")
+    pairs = random_permutation_pairs(100)
+    flows = [FluidFlow(src, dst) for src, dst in pairs
+             if (src, dst) != rio_sp]
+    flows.append(FluidFlow(*rio_sp))
+    flow_index = len(flows) - 1
+    holder = {}
+
+    def run_both():
+        dynamic = AimdFluidSimulation(
+            hypatia.network, flows, link_capacity_bps=LINK_RATE_BPS)
+        holder["dynamic"] = dynamic.run(DURATION_S, step_s=1.0)
+        static = AimdFluidSimulation(
+            hypatia.network, flows, link_capacity_bps=LINK_RATE_BPS,
+            freeze_topology_at_s=FREEZE_AT_S)
+        holder["static"] = static.run(DURATION_S, step_s=1.0)
+        return 2
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = [f"# K1, 100-city permutation, {LINK_RATE_BPS / 1e6:.0f} Mbit/s "
+            f"links, {DURATION_S}s, Rio de Janeiro -> Saint Petersburg"]
+    stats = {}
+    for label in ("dynamic", "static"):
+        unused = holder[label].unused_bandwidth_bps(flow_index)
+        stats[label] = unused_bandwidth_stats(unused, LINK_RATE_BPS)
+        rows.append(
+            f"{label:>8}: mean unused "
+            f"{stats[label].mean_unused_bps / 1e6:.2f} Mbit/s, "
+            f"time with > 1/3 capacity unused: "
+            f"{stats[label].fraction_above_third * 100:.1f}%, "
+            f"connected {stats[label].connected_fraction * 100:.0f}% "
+            f"(paper: 31% dynamic vs 11% static)")
+        series = unused[~np.isnan(unused)] / 1e6
+        rows.append(f"          series: p50 {np.percentile(series, 50):.2f} "
+                    f"p90 {np.percentile(series, 90):.2f} "
+                    f"max {series.max():.2f} Mbit/s")
+
+    # Shape: satellite motion leaves more of the path unused than the
+    # frozen network does.
+    assert stats["dynamic"].mean_unused_bps > stats["static"].mean_unused_bps
+    assert (stats["dynamic"].fraction_above_third
+            >= stats["static"].fraction_above_third)
+    write_result("fig10_unused_bandwidth", rows)

@@ -1,0 +1,61 @@
+"""Fig. 11: constellation trajectory snapshots (T1 / K1 / S1).
+
+Paper §6: renders the three first shells' satellite trajectories; the
+networking-relevant facts are the coverage extents — Telesat's near-polar
+inclination covers the poles while Kuiper/Starlink concentrate on the
+populated latitudes.  This bench generates the CZML documents the Cesium
+renderer would consume and checks those facts.
+"""
+
+import pytest
+
+from repro import Hypatia
+from repro.viz.czml import constellation_czml, constellation_summary
+
+from _common import scaled, write_result
+
+SHELLS = ["T1", "K1", "S1"]
+SCENE_SECONDS = scaled(120.0, 600.0)
+
+
+def test_fig11_constellation_trajectories(benchmark):
+    holder = {}
+
+    def generate_all():
+        total_packets = 0
+        for shell in SHELLS:
+            hypatia = Hypatia.from_shell_name(shell, num_cities=1)
+            doc = constellation_czml(hypatia.constellation, SCENE_SECONDS,
+                                     step_s=30.0)
+            summary = constellation_summary(hypatia.constellation)
+            holder[shell] = (doc, summary)
+            total_packets += len(doc)
+        return total_packets
+
+    benchmark.pedantic(generate_all, rounds=1, iterations=1)
+
+    rows = ["# CZML trajectory documents (Cesium-renderable)"]
+    for shell in SHELLS:
+        doc, summary = holder[shell]
+        config = summary["shells"][0]
+        rows.append(
+            f"{shell}: {config['orbits']} x {config['satellites_per_orbit']}"
+            f" @ {config['altitude_km']:.0f} km, i={config['inclination_deg']}"
+            f" deg -> {len(doc) - 1} satellite packets, max |latitude| "
+            f"{summary['max_abs_latitude_deg']:.1f} deg")
+
+    _, t1 = holder["T1"]
+    _, k1 = holder["K1"]
+    _, s1 = holder["S1"]
+    # Telesat covers the high latitudes; Kuiper and Starlink do not
+    # (paper §6).  T1's 98.98 deg inclination bounds |latitude| at
+    # 81 deg; with 13 satellites per orbit the instantaneous maximum sits
+    # a few degrees below the bound.
+    assert t1["max_abs_latitude_deg"] > 75.0
+    assert k1["max_abs_latitude_deg"] < 53.0
+    assert s1["max_abs_latitude_deg"] < 54.0
+    # Document sizes match the shell populations.
+    assert len(holder["S1"][0]) - 1 == 1584
+    assert len(holder["K1"][0]) - 1 == 1156
+    assert len(holder["T1"][0]) - 1 == 351
+    write_result("fig11_trajectories", rows)

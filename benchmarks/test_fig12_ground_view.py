@@ -1,0 +1,65 @@
+"""Fig. 12: the ground observer's view from St. Petersburg over Kuiper K1.
+
+Paper §6: from St. Petersburg, many K1 satellites are above the horizon
+but, at times, none is above the 30 deg minimum elevation — the network is
+intermittently unreachable, explaining the Fig. 3(a) disruption.  This
+bench generates the sky-view data (azimuth/elevation tracks) and the
+reachability timeline, and verifies both regimes occur.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Hypatia
+from repro.viz.ground_view import reachability_timeline, sky_snapshot
+
+from _common import scaled, write_result
+
+DURATION_S = scaled(300.0, 600.0)
+STEP_S = 2.0
+
+
+def test_fig12_st_petersburg_sky(benchmark):
+    hypatia = Hypatia.from_shell_name("K1", num_cities=100)
+    station = hypatia.ground_stations[hypatia.gid("Saint Petersburg")]
+    holder = {}
+
+    def sweep():
+        holder["timeline"] = reachability_timeline(
+            hypatia.constellation, station,
+            hypatia.network.min_elevation_deg,
+            duration_s=DURATION_S, step_s=STEP_S)
+        return len(holder["timeline"]["times_s"])
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    timeline = holder["timeline"]
+    connectable = timeline["num_connectable"]
+    above = timeline["num_above_horizon"]
+
+    connected_frac = float((connectable > 0).mean())
+    rows = [
+        f"# Saint Petersburg over K1, min elevation "
+        f"{hypatia.network.min_elevation_deg:.0f} deg, {DURATION_S}s",
+        f"satellites above horizon: min {above.min()} max {above.max()}",
+        f"connectable satellites:   min {connectable.min()} "
+        f"max {connectable.max()}",
+        f"reachable fraction of time: {connected_frac * 100:.1f}%",
+    ]
+    # Example snapshots of the two regimes (the two panels of Fig. 12).
+    reachable_idx = int(np.argmax(connectable > 0))
+    outage_idx = int(np.argmax(connectable == 0))
+    for label, idx in [("reachable", reachable_idx), ("outage", outage_idx)]:
+        snap = sky_snapshot(hypatia.constellation, station,
+                            hypatia.network.min_elevation_deg,
+                            float(timeline["times_s"][idx]))
+        rows.append(f"t={timeline['times_s'][idx]:.0f}s ({label}): "
+                    f"{snap.num_above_horizon} above horizon, "
+                    f"{snap.num_connectable} connectable")
+
+    # Shape: always many satellites above the horizon, yet reachability is
+    # intermittent (both regimes occur within the window).
+    assert above.min() > 10
+    assert (connectable == 0).any(), "expected an outage window"
+    assert (connectable > 0).any(), "expected a reachable window"
+    assert 0.2 < connected_frac < 0.95
+    write_result("fig12_ground_view", rows)

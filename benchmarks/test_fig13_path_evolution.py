@@ -1,0 +1,66 @@
+"""Fig. 13: Paris-Luanda shortest-path evolution on Starlink S1.
+
+Paper §6: this north-south pair shows one of the highest RTT variations;
+its path picks an orbit and rides it, and the RTT difference between the
+best (85 ms) and worst (117 ms) paths comes from how many zig-zag hops are
+needed to exit toward the destination.  This bench extracts the path
+episodes, reports each one's hop count and RTT range, and exports the
+waypoint geography of the extreme episodes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Hypatia
+from repro.viz.paths_viz import episode_geography, path_episodes
+
+from _common import scaled, write_result
+
+DURATION_S = scaled(200.0, 200.0)
+STEP_S = scaled(1.0, 0.1)
+
+
+def test_fig13_paris_luanda_paths(benchmark):
+    hypatia = Hypatia.from_shell_name("S1", num_cities=100)
+    pair = hypatia.pair("Paris", "Luanda")
+    holder = {}
+
+    def sweep():
+        timelines = hypatia.compute_timelines([pair], duration_s=DURATION_S,
+                                              step_s=STEP_S)
+        holder["timeline"] = timelines[pair]
+        return len(holder["timeline"].paths)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    timeline = holder["timeline"]
+    episodes = [e for e in path_episodes(timeline) if e.path is not None]
+    assert episodes, "Paris-Luanda should be connected on S1"
+
+    rows = [f"# Paris -> Luanda over S1, {DURATION_S}s at {STEP_S}s steps",
+            f"{'start':>7} {'end':>7} {'hops':>5} {'minRTT':>8} "
+            f"{'maxRTT':>8}"]
+    for episode in episodes:
+        rows.append(f"{episode.start_s:7.1f} {episode.end_s:7.1f} "
+                    f"{episode.hops:5d} {episode.min_rtt_s * 1000:7.1f}ms "
+                    f"{episode.max_rtt_s * 1000:7.1f}ms")
+
+    shortest = min(episodes, key=lambda e: e.min_rtt_s)
+    longest = max(episodes, key=lambda e: e.max_rtt_s)
+    rows.append(f"\nshortest-RTT path: {shortest.min_rtt_s * 1000:.1f} ms, "
+                f"{shortest.hops} hops (paper: 85 ms)")
+    rows.append(f"longest-RTT path:  {longest.max_rtt_s * 1000:.1f} ms, "
+                f"{longest.hops} hops (paper: 117 ms)")
+    geo = episode_geography(longest, hypatia.network)
+    satellite_lats = [wp["latitude_deg"] for wp in geo["waypoints"]
+                      if wp["kind"] == "satellite"]
+    rows.append(f"longest path satellite latitudes: "
+                f"{np.round(satellite_lats, 1).tolist()}")
+
+    # Shape: substantial RTT variation between episodes (paper: 85-117 ms
+    # on this pair), within the plausible band for a ~7,000 km pair.
+    rtts = timeline.rtts_s[np.isfinite(timeline.rtts_s)]
+    assert rtts.min() * 1000 > 45.0
+    assert rtts.max() * 1000 < 160.0
+    assert rtts.max() - rtts.min() > 0.005  # >= 5 ms of variation
+    assert len(episodes) >= 2  # the path changes during the window
+    write_result("fig13_path_evolution", rows)

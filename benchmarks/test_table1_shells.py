@@ -1,0 +1,36 @@
+"""Table 1: shell configurations of Starlink, Kuiper, and Telesat.
+
+Regenerates the table's rows from the constellation definitions and
+benchmarks full constellation instantiation (all 4,409 Starlink phase-1
+satellites).
+"""
+
+from repro.constellations.builder import Constellation
+from repro.constellations.definitions import ALL_SHELLS
+
+from _common import write_result
+
+
+def test_table1_shell_configurations(benchmark):
+    lines = [f"{'shell':>6} {'h (km)':>8} {'orbits':>7} "
+             f"{'sats/orbit':>11} {'i':>7}"]
+    for spec in ALL_SHELLS.values():
+        for shell in spec.shells:
+            lines.append(
+                f"{shell.name:>6} {shell.altitude_km:8.0f} "
+                f"{shell.num_orbits:7d} {shell.satellites_per_orbit:11d} "
+                f"{shell.inclination_deg:6.2f}°")
+        lines.append(f"  -> {spec.name}: {spec.total_satellites} satellites, "
+                     f"min elevation {spec.min_elevation_deg:.0f}°")
+
+    def build_all():
+        constellations = [
+            Constellation(spec.shells, name=spec.name)
+            for spec in ALL_SHELLS.values()
+        ]
+        return sum(c.num_satellites for c in constellations)
+
+    total = benchmark(build_all)
+    assert total == 4409 + 3236 + 1671
+    lines.append(f"total satellites instantiated: {total}")
+    write_result("table1_shells", lines)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Compare Starlink S1, Kuiper K1, and Telesat T1 on latency metrics.
+
+Reproduces the flavor of the paper's §5.1 analysis: for a set of famous
+city pairs, how close does each constellation get to the speed-of-light
+geodesic RTT, and how much does the RTT wander over two minutes?
+
+Run:  python examples/constellation_comparison.py
+"""
+
+import numpy as np
+
+from repro import Hypatia
+from repro.geo.distance import geodesic_rtt_s
+
+PAIRS = [
+    ("New York", "London"),
+    ("Manila", "Dalian"),
+    ("Istanbul", "Nairobi"),
+    ("Sao Paulo", "Lagos"),
+    ("Tokyo", "Los Angeles"),
+]
+
+SHELLS = ["S1", "K1", "T1"]
+DURATION_S = 120.0
+STEP_S = 4.0
+
+
+def main() -> None:
+    studies = {shell: Hypatia.from_shell_name(shell, num_cities=100)
+               for shell in SHELLS}
+    print(f"{'pair':>24} {'geodesic':>9}", end="")
+    for shell in SHELLS:
+        print(f" {shell + ' min..max':>17}", end="")
+    print("  (RTT, ms)")
+
+    for name_a, name_b in PAIRS:
+        any_study = studies[SHELLS[0]]
+        gid_a, gid_b = any_study.pair(name_a, name_b)
+        geodesic = geodesic_rtt_s(
+            any_study.ground_stations[gid_a].position,
+            any_study.ground_stations[gid_b].position)
+        print(f"{name_a + ' - ' + name_b:>24} {geodesic * 1000:9.1f}",
+              end="")
+        for shell in SHELLS:
+            study = studies[shell]
+            pair = study.pair(name_a, name_b)
+            timeline = study.compute_timelines(
+                [pair], duration_s=DURATION_S, step_s=STEP_S)[pair]
+            rtts = timeline.rtts_s
+            finite = rtts[np.isfinite(rtts)]
+            if finite.size == 0:
+                print(f" {'unreachable':>17}", end="")
+            else:
+                print(f" {finite.min() * 1000:7.1f}.."
+                      f"{finite.max() * 1000:6.1f} ms", end="")
+        print()
+
+    print("\nNotes:")
+    print("- no constellation beats the geodesic RTT (speed of light in "
+          "vacuum along the surface);")
+    print("- terrestrial fiber runs at ~2/3 c over longwinded routes, so "
+          "ratios under ~1.5x typically beat today's Internet (paper §5.1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Export the paper's visualizations as data files (paper §6).
+
+Writes, into ./viz_output/:
+
+* ``k1.czml`` — Kuiper K1 trajectories as a Cesium CZML document;
+* ``st_petersburg_sky.json`` — the ground observer's sky view (Fig. 12);
+* ``utilization_map.json`` — per-ISL load segments under the permutation
+  traffic matrix (Figs. 14-15), with the hotspot summary.
+
+Run:  python examples/visualization_export.py
+"""
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro import Hypatia, random_permutation_pairs
+from repro.fluid.engine import FluidFlow, FluidSimulation
+from repro.viz.czml import constellation_czml, write_czml
+from repro.viz.ground_view import sky_snapshot
+from repro.viz.utilization_map import hotspot_summary, utilization_map
+
+OUTPUT = Path("viz_output")
+
+
+def main() -> None:
+    OUTPUT.mkdir(exist_ok=True)
+    hypatia = Hypatia.from_shell_name("K1", num_cities=100)
+
+    print("1/3 trajectories -> k1.czml")
+    document = constellation_czml(hypatia.constellation, duration_s=300.0,
+                                  step_s=30.0)
+    write_czml(document, str(OUTPUT / "k1.czml"))
+
+    print("2/3 ground observer view -> st_petersburg_sky.json")
+    station = hypatia.ground_stations[hypatia.gid("Saint Petersburg")]
+    frames = [
+        sky_snapshot(hypatia.constellation, station,
+                     hypatia.network.min_elevation_deg, t).to_dict()
+        for t in range(0, 300, 10)
+    ]
+    (OUTPUT / "st_petersburg_sky.json").write_text(
+        json.dumps(frames, indent=1))
+
+    print("3/3 link utilization -> utilization_map.json")
+    flows = [FluidFlow(src, dst)
+             for src, dst in random_permutation_pairs(100)]
+    sim = FluidSimulation(hypatia.network, flows, link_capacity_bps=10e6)
+    result = sim.run(duration_s=1.0, step_s=1.0)
+    segments = utilization_map(hypatia.constellation,
+                               result.isl_utilization(0), time_s=0.0)
+    summary = hotspot_summary(segments)
+    (OUTPUT / "utilization_map.json").write_text(json.dumps({
+        "summary": summary,
+        "segments": [asdict(segment) for segment in segments],
+    }, indent=1))
+    print(f"   {summary['num_used_isls']} ISLs carry traffic; "
+          f"{summary['num_hot_isls']} are >= 80% utilized"
+          + (f", centered at ({summary['hot_center_lat_deg']:.0f}, "
+               f"{summary['hot_center_lon_deg']:.0f})"
+               if "hot_center_lat_deg" in summary else ""))
+    print(f"\nWrote {len(list(OUTPUT.iterdir()))} files to {OUTPUT}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro: a pure-Python reproduction of Hypatia (IMC 2020).
+
+Hypatia is a framework for simulating and visualizing the network behaviour
+of LEO mega-constellations (Starlink, Kuiper, Telesat).  This package
+reimplements the full system from scratch:
+
+* :mod:`repro.geo` / :mod:`repro.orbits` — geodesy and orbital mechanics
+  (Keplerian propagation, TLE generation/parsing);
+* :mod:`repro.constellations` — paper Table 1's shells and satellites;
+* :mod:`repro.ground` — the 100-city ground segment and visibility;
+* :mod:`repro.topology` / :mod:`repro.routing` — +Grid ISLs, GSLs,
+  time-varying shortest-path forwarding state;
+* :mod:`repro.simulation` / :mod:`repro.transport` — packet-level
+  discrete-event simulation with TCP NewReno, TCP Vegas, UDP, ping;
+* :mod:`repro.fluid` — flow-level max-min and AIMD engines;
+* :mod:`repro.analysis` / :mod:`repro.viz` — the paper's metrics and
+  visualization data exports;
+* :mod:`repro.core` — the :class:`~repro.core.hypatia.Hypatia` facade.
+
+Quickstart::
+
+    from repro import Hypatia
+    hypatia = Hypatia.from_shell_name("K1")
+    rtt = hypatia.routing.pair_rtt_s(hypatia.snapshot(0.0),
+                                     *hypatia.pair("Manila", "Dalian"))
+"""
+
+from .core.hypatia import Hypatia
+from .core.workloads import (
+    PAPER_FOCUS_PAIRS,
+    pairs_by_name,
+    random_permutation_pairs,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Hypatia",
+    "PAPER_FOCUS_PAIRS",
+    "pairs_by_name",
+    "random_permutation_pairs",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Post-processing analyses reproducing the paper's §4-§5 metrics."""
+
+from .bandwidth import UnusedBandwidthStats, unused_bandwidth_stats
+from .contacts import ContactWindow, contact_statistics, contact_windows
+from .coverage import LatitudeCoverage, coverage_by_latitude
+from .doppler import (
+    doppler_shift_hz,
+    isl_radial_velocities_m_per_s,
+    max_isl_doppler_summary,
+)
+from .paths import PairPathStats, pair_path_stats
+from .rtt import (
+    MIN_PAIR_SEPARATION_M,
+    PairRttStats,
+    ecdf,
+    pair_rtt_stats,
+)
+from .timestep import (
+    TimestepComparison,
+    changes_per_step,
+    compare_timesteps,
+    missed_changes,
+    subsample_satellite_sets,
+)
+
+__all__ = [
+    "ContactWindow",
+    "contact_statistics",
+    "contact_windows",
+    "LatitudeCoverage",
+    "coverage_by_latitude",
+    "doppler_shift_hz",
+    "isl_radial_velocities_m_per_s",
+    "max_isl_doppler_summary",
+    "UnusedBandwidthStats",
+    "unused_bandwidth_stats",
+    "PairPathStats",
+    "pair_path_stats",
+    "MIN_PAIR_SEPARATION_M",
+    "PairRttStats",
+    "ecdf",
+    "pair_rtt_stats",
+    "TimestepComparison",
+    "changes_per_step",
+    "compare_timesteps",
+    "missed_changes",
+    "subsample_satellite_sets",
+]

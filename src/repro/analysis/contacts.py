@@ -1,0 +1,114 @@
+"""GSL contact windows and handoff rates (paper §2.3).
+
+"As satellites travel fast across GSes, GS-satellite links can only be
+maintained for a few minutes, after which they require a handoff."  This
+module measures exactly that: for a ground station, the contiguous
+intervals during which each satellite stays above the minimum elevation,
+and the implied handoff rate for a single-link terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..constellations.builder import Constellation
+from ..ground.stations import GroundStation
+from ..ground.visibility import elevation_angles_deg
+
+__all__ = ["ContactWindow", "contact_windows", "contact_statistics"]
+
+
+@dataclass(frozen=True)
+class ContactWindow:
+    """One contiguous visibility interval of one satellite from one GS.
+
+    Attributes:
+        satellite_id: The satellite.
+        start_s / end_s: Interval bounds (end exclusive); windows clipped
+            by the observation span carry ``truncated=True``.
+        truncated: Whether the window touches the observation boundary
+            (its true duration is longer than measured).
+    """
+
+    satellite_id: int
+    start_s: float
+    end_s: float
+    truncated: bool
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def contact_windows(constellation: Constellation, station: GroundStation,
+                    min_elevation_deg: float, duration_s: float,
+                    step_s: float = 5.0) -> List[ContactWindow]:
+    """All GS-satellite contact windows over an observation span.
+
+    Args:
+        constellation: The satellites.
+        station: The observing ground station.
+        min_elevation_deg: Connectivity threshold.
+        duration_s: Observation span.
+        step_s: Sampling interval (window bounds are step-quantized).
+    """
+    if duration_s <= 0.0 or step_s <= 0.0:
+        raise ValueError("duration and step must be positive")
+    times = np.arange(0.0, duration_s, step_s)
+    visible_at: List[set] = []
+    for t in times:
+        positions = constellation.positions_ecef_m(float(t))
+        elevations = elevation_angles_deg(station, positions)
+        visible_at.append(set(np.nonzero(
+            elevations >= min_elevation_deg)[0].tolist()))
+
+    windows: List[ContactWindow] = []
+    open_since: Dict[int, float] = {}
+    for i, t in enumerate(times):
+        now_visible = visible_at[i]
+        for sat in list(open_since):
+            if sat not in now_visible:
+                windows.append(ContactWindow(
+                    satellite_id=sat, start_s=open_since.pop(sat),
+                    end_s=float(t), truncated=False))
+        for sat in now_visible:
+            if sat not in open_since:
+                open_since[sat] = float(t)
+    end = float(times[-1]) + step_s
+    for sat, start in open_since.items():
+        windows.append(ContactWindow(satellite_id=sat, start_s=start,
+                                     end_s=end, truncated=True))
+    # Mark windows that began at t=0 as truncated too.
+    return [
+        ContactWindow(w.satellite_id, w.start_s, w.end_s,
+                      truncated=w.truncated or w.start_s == 0.0)
+        for w in windows
+    ]
+
+
+def contact_statistics(windows: Sequence[ContactWindow]) -> Dict[str, float]:
+    """Summary of complete (untruncated) contact windows.
+
+    Returns:
+        Dict with ``num_contacts``, ``median_duration_s``,
+        ``max_duration_s`` and ``handoffs_per_hour`` (complete contacts
+        ending per observed hour, a lower bound on single-link terminal
+        handoff rate).
+    """
+    complete = [w for w in windows if not w.truncated]
+    if not complete:
+        return {"num_contacts": 0, "median_duration_s": float("nan"),
+                "max_duration_s": float("nan"),
+                "handoffs_per_hour": float("nan")}
+    durations = np.array([w.duration_s for w in complete])
+    span = (max(w.end_s for w in windows)
+            - min(w.start_s for w in windows))
+    return {
+        "num_contacts": len(complete),
+        "median_duration_s": float(np.median(durations)),
+        "max_duration_s": float(durations.max()),
+        "handoffs_per_hour": len(complete) / (span / 3600.0),
+    }

@@ -1,0 +1,93 @@
+"""Coverage analysis: who can connect, where (paper §6's coverage story).
+
+Fig. 11's qualitative observations — Telesat's near-polar shell covers the
+poles, Kuiper/Starlink concentrate on the populated mid-latitudes, S1
+"will not extend service to less populated regions at high latitudes"
+(§2.2) — become quantitative here: for a grid of latitudes, the fraction
+of longitudes (and times) at which a ground station would see at least one
+satellite above the minimum elevation angle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..constellations.builder import Constellation
+from ..geo.coordinates import GeodeticPosition
+from ..ground.stations import GroundStation
+from ..ground.visibility import elevation_angles_deg
+
+__all__ = ["LatitudeCoverage", "coverage_by_latitude"]
+
+
+@dataclass(frozen=True)
+class LatitudeCoverage:
+    """Coverage statistics at one latitude.
+
+    Attributes:
+        latitude_deg: The latitude band probed.
+        covered_fraction: Fraction of (longitude, time) samples with at
+            least one connectable satellite.
+        mean_visible: Mean number of connectable satellites per sample.
+    """
+
+    latitude_deg: float
+    covered_fraction: float
+    mean_visible: float
+
+
+def coverage_by_latitude(constellation: Constellation,
+                         min_elevation_deg: float,
+                         latitudes_deg: Sequence[float] = tuple(
+                             range(-90, 91, 15)),
+                         num_longitudes: int = 12,
+                         sample_times_s: Sequence[float] = (0.0, 120.0,
+                                                            240.0),
+                         ) -> List[LatitudeCoverage]:
+    """Probe constellation coverage on a latitude/longitude/time grid.
+
+    Args:
+        constellation: The satellites.
+        min_elevation_deg: Minimum elevation angle for connectivity.
+        latitudes_deg: Latitude bands to probe.
+        num_longitudes: Longitude samples per band (uniformly spread).
+        sample_times_s: Times to probe (averages over satellite motion).
+
+    Returns:
+        One :class:`LatitudeCoverage` per latitude, in input order.
+    """
+    if num_longitudes < 1:
+        raise ValueError("need at least one longitude sample")
+    if not sample_times_s:
+        raise ValueError("need at least one sample time")
+    longitudes = np.linspace(-180.0, 180.0, num_longitudes,
+                             endpoint=False)
+    results: List[LatitudeCoverage] = []
+    positions_by_time = {
+        t: constellation.positions_ecef_m(float(t)) for t in sample_times_s
+    }
+    for latitude in latitudes_deg:
+        covered = 0
+        visible_total = 0
+        samples = 0
+        for longitude in longitudes:
+            station = GroundStation(
+                gid=0, name="probe",
+                position=GeodeticPosition(float(latitude),
+                                          float(longitude), 0.0))
+            for t in sample_times_s:
+                elevations = elevation_angles_deg(station,
+                                                  positions_by_time[t])
+                connectable = int((elevations >= min_elevation_deg).sum())
+                covered += connectable > 0
+                visible_total += connectable
+                samples += 1
+        results.append(LatitudeCoverage(
+            latitude_deg=float(latitude),
+            covered_fraction=covered / samples,
+            mean_visible=visible_total / samples,
+        ))
+    return results

@@ -1,0 +1,119 @@
+"""Forwarding-state time-step granularity study (paper §5.3, Fig. 9).
+
+Hypatia recomputes forwarding state at a fixed granularity.  Coarser steps
+are cheaper (each step costs shortest-path computations over the whole
+network) but *miss* path changes: if the shortest path changed twice within
+one interval, a coarse schedule observes at most one change.
+
+Given satellite-set sequences sampled at a fine base step, this module
+derives what coarser schedules would have observed by subsampling, and
+reports the paper's two metrics:
+
+* the number of path changes observed per time step, across time steps;
+* per pair, how many changes a coarse step missed relative to the base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..topology.dynamic_state import PairTimeline, count_path_changes
+
+__all__ = ["subsample_satellite_sets", "changes_per_step",
+           "missed_changes", "TimestepComparison", "compare_timesteps"]
+
+
+def subsample_satellite_sets(sets: Sequence[frozenset],
+                             factor: int) -> List[frozenset]:
+    """Every ``factor``-th entry of a satellite-set sequence.
+
+    Models recomputing forwarding state ``factor`` times less often.
+    """
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    return list(sets[::factor])
+
+
+def changes_per_step(per_pair_sets: Sequence[Sequence[frozenset]]
+                     ) -> np.ndarray:
+    """Network-wide path changes in each time step (Fig. 9(a)).
+
+    Args:
+        per_pair_sets: For each pair, its satellite-set sequence (all the
+            same length T).
+
+    Returns:
+        (T-1,) count of pairs whose path changed at each step boundary.
+    """
+    if not per_pair_sets:
+        return np.empty(0, dtype=np.int64)
+    lengths = {len(sets) for sets in per_pair_sets}
+    if len(lengths) != 1:
+        raise ValueError(f"sequences have differing lengths: {lengths}")
+    steps = lengths.pop() - 1
+    counts = np.zeros(steps, dtype=np.int64)
+    for sets in per_pair_sets:
+        for i in range(steps):
+            if sets[i + 1] != sets[i]:
+                counts[i] += 1
+    return counts
+
+
+def missed_changes(fine_sets: Sequence[frozenset], factor: int) -> int:
+    """Path changes a ``factor``-times-coarser schedule fails to observe.
+
+    A change is "missed" when several changes fall inside one coarse
+    interval: the coarse schedule sees at most one change there.
+    """
+    fine = count_path_changes(list(fine_sets))
+    coarse = count_path_changes(subsample_satellite_sets(fine_sets, factor))
+    return max(0, fine - coarse)
+
+
+@dataclass(frozen=True)
+class TimestepComparison:
+    """Fig. 9(b)'s summary for one coarse step.
+
+    Attributes:
+        factor: Coarse step as a multiple of the base step.
+        missed_per_pair: Missed change count for each pair.
+    """
+
+    factor: int
+    missed_per_pair: np.ndarray
+
+    def fraction_missing_at_least(self, count: int) -> float:
+        """Fraction of pairs that missed >= ``count`` changes."""
+        if len(self.missed_per_pair) == 0:
+            return 0.0
+        return float((self.missed_per_pair >= count).mean())
+
+
+def compare_timesteps(timelines: Dict[Tuple[int, int], PairTimeline],
+                      num_satellites: int,
+                      factors: Sequence[int] = (2, 20),
+                      ) -> List[TimestepComparison]:
+    """Fig. 9(b): missed path changes at coarser forwarding-state steps.
+
+    Args:
+        timelines: Pair timelines computed at the *base* step (the paper
+            uses 50 ms as the base).
+        num_satellites: Node-numbering split point.
+        factors: Coarse steps as multiples of the base (paper: 2 for
+            100 ms, 20 for 1000 ms).
+    """
+    per_pair_sets = [
+        timeline.satellite_sets(num_satellites)
+        for timeline in timelines.values()
+    ]
+    comparisons: List[TimestepComparison] = []
+    for factor in factors:
+        missed = np.array([
+            missed_changes(sets, factor) for sets in per_pair_sets
+        ])
+        comparisons.append(TimestepComparison(factor=factor,
+                                              missed_per_pair=missed))
+    return comparisons

@@ -1,0 +1,162 @@
+"""Command-line interface: quick constellation inspection and exports.
+
+Usage (installed as ``python -m repro``):
+
+.. code-block:: console
+
+   python -m repro info                     # Table 1 overview
+   python -m repro info K1                  # one shell's description
+   python -m repro rtt K1 Manila Dalian     # RTT series summary
+   python -m repro tles K1 -o k1.tle        # write 3LE file
+   python -m repro czml K1 -o k1.czml       # write Cesium document
+   python -m repro sky K1 "Saint Petersburg"  # sky view snapshot
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hypatia reproduction: LEO constellation analysis")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="describe shells (Table 1)")
+    info.add_argument("shell", nargs="?", default=None,
+                      help="shell name (S1..S5, K1..K3, T1/T2); "
+                           "omit for the full table")
+
+    rtt = sub.add_parser("rtt", help="RTT between two cities over time")
+    rtt.add_argument("shell")
+    rtt.add_argument("src_city")
+    rtt.add_argument("dst_city")
+    rtt.add_argument("--duration", type=float, default=60.0)
+    rtt.add_argument("--step", type=float, default=2.0)
+
+    tles = sub.add_parser("tles", help="generate a 3LE file for a shell")
+    tles.add_argument("shell")
+    tles.add_argument("-o", "--output", required=True)
+
+    czml = sub.add_parser("czml", help="generate a Cesium CZML document")
+    czml.add_argument("shell")
+    czml.add_argument("-o", "--output", required=True)
+    czml.add_argument("--duration", type=float, default=300.0)
+    czml.add_argument("--step", type=float, default=30.0)
+
+    sky = sub.add_parser("sky", help="ground observer's sky view")
+    sky.add_argument("shell")
+    sky.add_argument("city")
+    sky.add_argument("--time", type=float, default=0.0)
+    return parser
+
+
+def _cmd_info(args) -> int:
+    from .constellations.definitions import ALL_SHELLS, shell_by_name
+    if args.shell:
+        shell = shell_by_name(args.shell)
+        print(f"{shell.name}: {shell.num_orbits} orbits x "
+              f"{shell.satellites_per_orbit} satellites "
+              f"({shell.total_satellites} total) @ "
+              f"{shell.altitude_km:.0f} km, i={shell.inclination_deg} deg")
+        return 0
+    for spec in ALL_SHELLS.values():
+        print(f"{spec.name} ({spec.total_satellites} satellites, "
+              f"min elevation {spec.min_elevation_deg:.0f} deg):")
+        for shell in spec.shells:
+            print(f"  {shell.name}: {shell.num_orbits} x "
+                  f"{shell.satellites_per_orbit} @ "
+                  f"{shell.altitude_km:.0f} km, "
+                  f"i={shell.inclination_deg} deg")
+    return 0
+
+
+def _cmd_rtt(args) -> int:
+    from .core.hypatia import Hypatia
+    hypatia = Hypatia.from_shell_name(args.shell, num_cities=100)
+    pair = hypatia.pair(args.src_city, args.dst_city)
+    timeline = hypatia.compute_timelines(
+        [pair], duration_s=args.duration, step_s=args.step)[pair]
+    rtts = timeline.rtts_s
+    finite = rtts[np.isfinite(rtts)]
+    if finite.size == 0:
+        print(f"{args.src_city} -> {args.dst_city}: never connected over "
+              f"{args.duration:.0f}s")
+        return 1
+    print(f"{args.src_city} -> {args.dst_city} over {args.shell}, "
+          f"{args.duration:.0f}s at {args.step:.1f}s steps:")
+    print(f"  RTT min/median/max: {finite.min() * 1000:.2f} / "
+          f"{np.median(finite) * 1000:.2f} / "
+          f"{finite.max() * 1000:.2f} ms")
+    print(f"  connected: {np.isfinite(rtts).mean() * 100:.1f}% of "
+          f"snapshots")
+    return 0
+
+
+def _cmd_tles(args) -> int:
+    from .constellations.builder import Constellation
+    from .constellations.definitions import shell_by_name
+    from .orbits.tle import write_tle_file
+    constellation = Constellation([shell_by_name(args.shell)])
+    tles = constellation.generate_tles()
+    write_tle_file(tles, args.output)
+    print(f"wrote {len(tles)} element sets to {args.output}")
+    return 0
+
+
+def _cmd_czml(args) -> int:
+    from .constellations.builder import Constellation
+    from .constellations.definitions import shell_by_name
+    from .viz.czml import constellation_czml, write_czml
+    constellation = Constellation([shell_by_name(args.shell)])
+    document = constellation_czml(constellation, args.duration,
+                                  step_s=args.step)
+    write_czml(document, args.output)
+    print(f"wrote {len(document) - 1} satellite packets to {args.output}")
+    return 0
+
+
+def _cmd_sky(args) -> int:
+    from .core.hypatia import Hypatia
+    from .viz.ground_view import sky_snapshot
+    hypatia = Hypatia.from_shell_name(args.shell, num_cities=100)
+    station = hypatia.ground_stations[hypatia.gid(args.city)]
+    snap = sky_snapshot(hypatia.constellation, station,
+                        hypatia.network.min_elevation_deg, args.time)
+    print(f"{args.city} over {args.shell} at t={args.time:.0f}s: "
+          f"{snap.num_above_horizon} above horizon, "
+          f"{snap.num_connectable} connectable "
+          f"(min elevation {hypatia.network.min_elevation_deg:.0f} deg)")
+    order = np.argsort(-snap.elevations_deg)[:10]
+    for i in order:
+        marker = "*" if snap.connectable[i] else " "
+        print(f"  {marker} sat {snap.satellite_ids[i]:4d}  "
+              f"az {snap.azimuths_deg[i]:6.1f} deg  "
+              f"el {snap.elevations_deg[i]:5.1f} deg")
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "rtt": _cmd_rtt,
+    "tles": _cmd_tles,
+    "czml": _cmd_czml,
+    "sky": _cmd_sky,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

@@ -1,0 +1,30 @@
+"""Constellation definitions (paper Table 1) and satellite instantiation."""
+
+from .builder import Constellation, Satellite
+from .definitions import (
+    ALL_SHELLS,
+    FIRST_SHELLS,
+    ConstellationSpec,
+    KUIPER_K1,
+    KUIPER_SHELLS,
+    STARLINK_S1,
+    STARLINK_SHELLS,
+    TELESAT_T1,
+    TELESAT_SHELLS,
+    shell_by_name,
+)
+
+__all__ = [
+    "Constellation",
+    "Satellite",
+    "ALL_SHELLS",
+    "FIRST_SHELLS",
+    "ConstellationSpec",
+    "KUIPER_K1",
+    "KUIPER_SHELLS",
+    "STARLINK_S1",
+    "STARLINK_SHELLS",
+    "TELESAT_T1",
+    "TELESAT_SHELLS",
+    "shell_by_name",
+]

@@ -1,0 +1,14 @@
+"""Fluid (flow-level) traffic engine: max-min fair shares over time."""
+
+from .aimd import AimdFluidSimulation
+from .engine import FluidFlow, FluidResult, FluidSimulation, path_devices
+from .maxmin import max_min_fair_allocation
+
+__all__ = [
+    "AimdFluidSimulation",
+    "FluidFlow",
+    "FluidResult",
+    "FluidSimulation",
+    "path_devices",
+    "max_min_fair_allocation",
+]

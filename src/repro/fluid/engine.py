@@ -1,0 +1,226 @@
+"""Fluid (flow-level) simulation of constellation-wide traffic.
+
+The paper's §5.4 experiment — a fixed permutation of long-running TCP flows
+between 100 cities over Kuiper — is packet-simulated in ns-3.  A faithful
+pure-Python per-packet reproduction at that scale is computationally out of
+reach, so this engine substitutes the standard fluid abstraction:
+
+* at each forwarding-state snapshot, every flow follows its shortest path;
+* flow rates are the max-min fair allocation over the same *device*
+  capacities the packet simulator models (directional ISL devices, one
+  shared GSL device per node);
+* per-device utilization and per-pair unused bandwidth follow directly.
+
+The substitution preserves what the experiment measures: how shortest-path
+churn reshuffles which flows share which bottlenecks, yielding large
+fluctuations in a path's unused bandwidth even under a static traffic
+matrix (Fig. 10) and moving hotspots around the constellation
+(Figs. 14/15).  The ablation bench ``test_ablation_fluid_vs_packet``
+checks the two engines agree on small scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..routing.engine import RoutingEngine
+from ..topology.dynamic_state import snapshot_times
+from ..topology.network import LeoNetwork, TopologySnapshot
+from .maxmin import max_min_fair_allocation
+
+__all__ = ["FluidFlow", "FluidResult", "FluidSimulation", "path_devices"]
+
+
+@dataclass(frozen=True)
+class FluidFlow:
+    """One long-running flow of the fluid model.
+
+    Attributes:
+        src_gid: Source ground station.
+        dst_gid: Destination ground station.
+        demand_bps: Rate cap (``inf`` models a greedy long-running TCP).
+    """
+
+    src_gid: int
+    dst_gid: int
+    demand_bps: float = np.inf
+
+    def __post_init__(self) -> None:
+        if self.src_gid == self.dst_gid:
+            raise ValueError("flow endpoints must differ")
+        if self.demand_bps <= 0.0:
+            raise ValueError("demand must be positive")
+
+
+def path_devices(path: Sequence[int], num_satellites: int
+                 ) -> List[Hashable]:
+    """The transmitting devices a path occupies, in DES-compatible keys.
+
+    Satellite-to-satellite hops use the directed ISL device ``(a, b)``;
+    any hop leaving node ``a`` toward a ground station — or leaving a
+    ground station — uses that node's shared GSL device ``("gsl", a)``.
+    """
+    devices: List[Hashable] = []
+    for a, b in zip(path, path[1:]):
+        if a < num_satellites and b < num_satellites:
+            devices.append((a, b))
+        else:
+            devices.append(("gsl", a))
+    return devices
+
+
+@dataclass
+class FluidResult:
+    """Output of a fluid simulation.
+
+    Attributes:
+        times_s: (T,) snapshot times.
+        flow_rates_bps: (T, F) allocated rate of each flow over time;
+            zero while a flow's endpoints are disconnected.
+        flow_paths: ``flow_paths[t][f]`` node-id path or None.
+        device_load_bps: per snapshot, mapping device-key -> allocated load.
+        num_satellites: Node-numbering split point (satellites below it).
+        link_capacity_bps: The uniform device capacity of the run.
+    """
+
+    times_s: np.ndarray
+    flow_rates_bps: np.ndarray
+    flow_paths: List[List[Optional[Tuple[int, ...]]]]
+    device_load_bps: List[Dict[Hashable, float]]
+    num_satellites: int
+    link_capacity_bps: float
+
+    def unused_bandwidth_bps(self, flow_index: int) -> np.ndarray:
+        """Paper Fig. 10's metric for one flow's path over time.
+
+        The path's link capacity minus the utilization of the most
+        congested on-path device at each snapshot; ``nan`` while the flow
+        is disconnected.
+        """
+        series = np.full(len(self.times_s), np.nan)
+        for t in range(len(self.times_s)):
+            path = self.flow_paths[t][flow_index]
+            if path is None:
+                continue
+            devices = path_devices(path, self.num_satellites)
+            loads = self.device_load_bps[t]
+            worst = max(loads.get(device, 0.0) for device in devices)
+            series[t] = max(0.0, self.link_capacity_bps - worst)
+        return series
+
+    def isl_utilization(self, t_index: int) -> Dict[Tuple[int, int], float]:
+        """Directed ISL loads at one snapshot, as a fraction of capacity.
+
+        The input of the paper's Fig. 14/15 congestion visualizations.
+        """
+        loads = self.device_load_bps[t_index]
+        return {
+            device: load / self.link_capacity_bps
+            for device, load in loads.items()
+            if isinstance(device, tuple) and device[0] != "gsl"
+        }
+
+
+class FluidSimulation:
+    """Max-min fluid traffic over the evolving shortest paths.
+
+    Args:
+        network: The LEO network.
+        flows: The long-running flows.
+        link_capacity_bps: Uniform device capacity (paper: 10 Mbit/s).
+        freeze_topology_at_s: If not None, routes and geometry are frozen
+            at this time — the "static network" baseline (gray line of
+            Fig. 10).
+    """
+
+    def __init__(self, network: LeoNetwork, flows: Sequence[FluidFlow],
+                 link_capacity_bps: float = 10_000_000.0,
+                 freeze_topology_at_s: Optional[float] = None,
+                 capacity_overrides: Optional[
+                     Dict[Hashable, float]] = None) -> None:
+        if not flows:
+            raise ValueError("need at least one flow")
+        if link_capacity_bps <= 0.0:
+            raise ValueError("capacity must be positive")
+        self.network = network
+        self.flows = list(flows)
+        self.link_capacity_bps = link_capacity_bps
+        self.freeze_topology_at_s = freeze_topology_at_s
+        #: Per-device capacity overrides (paper §7's link heterogeneity);
+        #: keys follow :func:`path_devices` — ``(a, b)`` for directed
+        #: ISLs, ``("gsl", node)`` for GSL devices.
+        self.capacity_overrides = dict(capacity_overrides or {})
+        for capacity in self.capacity_overrides.values():
+            if capacity <= 0.0:
+                raise ValueError("override capacities must be positive")
+        self._engine = RoutingEngine(network)
+        self._num_sats = network.num_satellites
+
+    def _paths_at(self, snapshot: TopologySnapshot
+                  ) -> List[Optional[Tuple[int, ...]]]:
+        paths: List[Optional[Tuple[int, ...]]] = [None] * len(self.flows)
+        by_dst: Dict[int, List[int]] = {}
+        for i, flow in enumerate(self.flows):
+            by_dst.setdefault(flow.dst_gid, []).append(i)
+        for dst_gid, flow_indices in by_dst.items():
+            routing = self._engine.route_to(snapshot, dst_gid)
+            for i in flow_indices:
+                path = self._engine.path_via(routing, snapshot,
+                                             self.flows[i].src_gid)
+                paths[i] = tuple(path) if path is not None else None
+        return paths
+
+    def run(self, duration_s: float, step_s: float = 1.0) -> FluidResult:
+        """Simulate ``duration_s`` at ``step_s`` granularity."""
+        times = snapshot_times(duration_s, step_s)
+        num_flows = len(self.flows)
+        rates = np.zeros((len(times), num_flows))
+        all_paths: List[List[Optional[Tuple[int, ...]]]] = []
+        all_loads: List[Dict[Hashable, float]] = []
+
+        frozen_paths: Optional[List[Optional[Tuple[int, ...]]]] = None
+        if self.freeze_topology_at_s is not None:
+            frozen_snapshot = self.network.snapshot(self.freeze_topology_at_s)
+            frozen_paths = self._paths_at(frozen_snapshot)
+
+        for t_index, time_s in enumerate(times):
+            if frozen_paths is not None:
+                paths = frozen_paths
+            else:
+                snapshot = self.network.snapshot(float(time_s))
+                paths = self._paths_at(snapshot)
+            flow_links: List[List[Hashable]] = []
+            demands: List[float] = []
+            connected: List[int] = []
+            for i, path in enumerate(paths):
+                if path is None:
+                    continue
+                connected.append(i)
+                flow_links.append(path_devices(path, self._num_sats))
+                demands.append(self.flows[i].demand_bps)
+            capacities: Dict[Hashable, float] = {}
+            for links in flow_links:
+                for link in links:
+                    capacities[link] = self.capacity_overrides.get(
+                        link, self.link_capacity_bps)
+            allocated = max_min_fair_allocation(
+                capacities, flow_links,
+                demands=[min(d, 100.0 * self.link_capacity_bps)
+                         for d in demands])
+            loads: Dict[Hashable, float] = {}
+            for links, rate in zip(flow_links, allocated):
+                for link in links:
+                    loads[link] = loads.get(link, 0.0) + rate
+            for local_index, i in enumerate(connected):
+                rates[t_index, i] = allocated[local_index]
+            all_paths.append(list(paths))
+            all_loads.append(loads)
+
+        return FluidResult(times_s=times, flow_rates_bps=rates,
+                           flow_paths=all_paths,
+                           device_load_bps=all_loads,
+                           num_satellites=self._num_sats,
+                           link_capacity_bps=self.link_capacity_bps)

@@ -1,0 +1,204 @@
+"""Coordinate frames and conversions.
+
+Three frames are used throughout:
+
+* **ECI** (Earth-centered inertial): the frame in which two-body orbital
+  motion is simple.  X points to the vernal equinox, Z along the rotation
+  axis.
+* **ECEF** (Earth-centered, Earth-fixed): rotates with the Earth.  Ground
+  stations are fixed in ECEF; satellite positions must be rotated into it
+  before computing ground-satellite geometry.
+* **Geodetic**: latitude / longitude / altitude against a reference
+  ellipsoid.
+
+The ECI -> ECEF rotation is a single rotation about Z by the Greenwich Mean
+Sidereal Time (GMST) angle.  Since every experiment in the paper spans at
+most a few hundred seconds, we use the linear GMST model (constant rotation
+rate from a reference epoch), which is exact to well under a meter over such
+horizons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .constants import (
+    EARTH_ROTATION_RATE_RAD_PER_S,
+    Ellipsoid,
+    WGS84,
+)
+
+__all__ = [
+    "GeodeticPosition",
+    "gmst_angle_rad",
+    "eci_to_ecef",
+    "ecef_to_eci",
+    "geodetic_to_ecef",
+    "ecef_to_geodetic",
+    "rotation_about_z",
+]
+
+
+@dataclass(frozen=True)
+class GeodeticPosition:
+    """A point given in geodetic coordinates.
+
+    Attributes:
+        latitude_deg: Geodetic latitude in degrees, north positive.
+        longitude_deg: Longitude in degrees, east positive, in [-180, 180].
+        altitude_m: Height above the ellipsoid in meters.
+    """
+
+    latitude_deg: float
+    longitude_deg: float
+    altitude_m: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude_deg <= 90.0:
+            raise ValueError(
+                f"latitude must be in [-90, 90], got {self.latitude_deg}")
+        if not -180.0 <= self.longitude_deg <= 180.0:
+            raise ValueError(
+                f"longitude must be in [-180, 180], got {self.longitude_deg}")
+
+    @property
+    def latitude_rad(self) -> float:
+        return math.radians(self.latitude_deg)
+
+    @property
+    def longitude_rad(self) -> float:
+        return math.radians(self.longitude_deg)
+
+
+def gmst_angle_rad(time_s: float, gmst_at_epoch_rad: float = 0.0) -> float:
+    """Greenwich Mean Sidereal Time angle at ``time_s`` past the epoch.
+
+    Args:
+        time_s: Seconds since the simulation epoch.
+        gmst_at_epoch_rad: GMST at the epoch itself.  Simulations are
+            invariant to this offset (it shifts all longitudes uniformly), so
+            it defaults to zero.
+
+    Returns:
+        The rotation angle of the Earth in radians, wrapped to [0, 2*pi).
+    """
+    angle = gmst_at_epoch_rad + EARTH_ROTATION_RATE_RAD_PER_S * time_s
+    return angle % (2.0 * math.pi)
+
+
+def rotation_about_z(angle_rad: float) -> np.ndarray:
+    """Right-handed rotation matrix about the +Z axis by ``angle_rad``."""
+    c, s = math.cos(angle_rad), math.sin(angle_rad)
+    return np.array([
+        [c, s, 0.0],
+        [-s, c, 0.0],
+        [0.0, 0.0, 1.0],
+    ])
+
+
+def eci_to_ecef(position_eci_m: np.ndarray, time_s: float,
+                gmst_at_epoch_rad: float = 0.0) -> np.ndarray:
+    """Rotate an ECI position vector into the ECEF frame at ``time_s``.
+
+    Accepts a single 3-vector or an (N, 3) array of vectors.
+    """
+    theta = gmst_angle_rad(time_s, gmst_at_epoch_rad)
+    rot = rotation_about_z(theta)
+    return np.asarray(position_eci_m) @ rot.T
+
+
+def ecef_to_eci(position_ecef_m: np.ndarray, time_s: float,
+                gmst_at_epoch_rad: float = 0.0) -> np.ndarray:
+    """Rotate an ECEF position vector into the ECI frame at ``time_s``."""
+    theta = gmst_angle_rad(time_s, gmst_at_epoch_rad)
+    rot = rotation_about_z(-theta)
+    return np.asarray(position_ecef_m) @ rot.T
+
+
+def geodetic_to_ecef(position: GeodeticPosition,
+                     ellipsoid: Ellipsoid = WGS84) -> np.ndarray:
+    """Convert geodetic coordinates to an ECEF Cartesian vector (meters)."""
+    lat = position.latitude_rad
+    lon = position.longitude_rad
+    alt = position.altitude_m
+    a = ellipsoid.semi_major_axis_m
+    e2 = ellipsoid.eccentricity_squared
+    sin_lat = math.sin(lat)
+    cos_lat = math.cos(lat)
+    # Prime-vertical radius of curvature.
+    n = a / math.sqrt(1.0 - e2 * sin_lat * sin_lat)
+    x = (n + alt) * cos_lat * math.cos(lon)
+    y = (n + alt) * cos_lat * math.sin(lon)
+    z = (n * (1.0 - e2) + alt) * sin_lat
+    return np.array([x, y, z])
+
+
+def ecef_to_geodetic(position_ecef_m: np.ndarray,
+                     ellipsoid: Ellipsoid = WGS84,
+                     max_iterations: int = 10,
+                     tolerance_rad: float = 1e-12) -> GeodeticPosition:
+    """Convert an ECEF Cartesian vector back to geodetic coordinates.
+
+    Uses the classic iterative latitude refinement, which converges to
+    sub-millimeter accuracy in a handful of iterations for any point above
+    the Earth's core.
+    """
+    x, y, z = (float(v) for v in np.asarray(position_ecef_m))
+    a = ellipsoid.semi_major_axis_m
+    e2 = ellipsoid.eccentricity_squared
+    lon = math.atan2(y, x)
+    p = math.hypot(x, y)
+    if p < 1e-9:
+        # On the polar axis the longitude is arbitrary; latitude is +/-90.
+        lat = math.copysign(math.pi / 2.0, z)
+        n = a / math.sqrt(1.0 - e2 * math.sin(lat) ** 2)
+        alt = abs(z) - n * (1.0 - e2)
+        return GeodeticPosition(math.degrees(lat), 0.0, alt)
+
+    lat = math.atan2(z, p * (1.0 - e2))
+    for _ in range(max_iterations):
+        sin_lat = math.sin(lat)
+        n = a / math.sqrt(1.0 - e2 * sin_lat * sin_lat)
+        new_lat = math.atan2(z + e2 * n * sin_lat, p)
+        if abs(new_lat - lat) < tolerance_rad:
+            lat = new_lat
+            break
+        lat = new_lat
+    sin_lat = math.sin(lat)
+    n = a / math.sqrt(1.0 - e2 * sin_lat * sin_lat)
+    cos_lat = math.cos(lat)
+    if abs(cos_lat) > 1e-9:
+        alt = p / cos_lat - n
+    else:
+        alt = abs(z) - n * (1.0 - e2)
+    lon_deg = math.degrees(lon)
+    if lon_deg == -180.0:
+        lon_deg = 180.0
+    return GeodeticPosition(math.degrees(lat), lon_deg, alt)
+
+
+def topocentric_enu(observer_ecef_m: np.ndarray,
+                    observer_geodetic: GeodeticPosition,
+                    target_ecef_m: np.ndarray) -> Tuple[float, float, float]:
+    """Express ``target`` in the observer's local East-North-Up frame.
+
+    Returns:
+        ``(east_m, north_m, up_m)`` components of the observer->target vector.
+    """
+    lat = observer_geodetic.latitude_rad
+    lon = observer_geodetic.longitude_rad
+    delta = np.asarray(target_ecef_m) - np.asarray(observer_ecef_m)
+    sin_lat, cos_lat = math.sin(lat), math.cos(lat)
+    sin_lon, cos_lon = math.sin(lon), math.cos(lon)
+    east = -sin_lon * delta[0] + cos_lon * delta[1]
+    north = (-sin_lat * cos_lon * delta[0]
+             - sin_lat * sin_lon * delta[1]
+             + cos_lat * delta[2])
+    up = (cos_lat * cos_lon * delta[0]
+          + cos_lat * sin_lon * delta[1]
+          + sin_lat * delta[2])
+    return float(east), float(north), float(up)

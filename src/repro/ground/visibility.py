@@ -1,0 +1,144 @@
+"""GS-satellite visibility: elevation angles and coverage cones.
+
+Paper §2.1 / Fig. 1: each satellite covers a cone defined by the minimum
+angle of elevation ``l``.  A GS can communicate with a satellite only if it
+sees it at elevation >= ``l``; smaller ``l`` admits satellites closer to the
+horizon (more connectivity options, the root of Telesat's latency advantage
+in §5.1).
+
+The elevation of a satellite above a GS's local horizon is computed from the
+up-component of the GS->satellite vector in the GS's topocentric frame.  All
+routines here are vectorized over satellites, since visibility of an entire
+constellation from every GS is recomputed at every forwarding-state time
+step.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..geo.constants import EARTH_MEAN_RADIUS_M
+from .stations import GroundStation
+
+__all__ = [
+    "elevation_angles_deg",
+    "visible_satellite_ids",
+    "max_slant_range_m",
+    "azimuth_elevation_deg",
+]
+
+
+def _local_up_unit(station: GroundStation) -> np.ndarray:
+    """Unit vector of the geodetic vertical (ellipsoid normal) at the GS."""
+    lat = station.position.latitude_rad
+    lon = station.position.longitude_rad
+    return np.array([
+        math.cos(lat) * math.cos(lon),
+        math.cos(lat) * math.sin(lon),
+        math.sin(lat),
+    ])
+
+
+def elevation_angles_deg(station: GroundStation,
+                         satellite_positions_ecef_m: np.ndarray) -> np.ndarray:
+    """Elevation of each satellite above the GS's horizon, in degrees.
+
+    Args:
+        station: The observing ground station.
+        satellite_positions_ecef_m: (N, 3) ECEF satellite positions.
+
+    Returns:
+        (N,) elevations in degrees; negative below the horizon, 90 directly
+        overhead.
+    """
+    positions = np.atleast_2d(np.asarray(satellite_positions_ecef_m))
+    delta = positions - station.ecef_m
+    distances = np.linalg.norm(delta, axis=1)
+    up = _local_up_unit(station)
+    # sin(elevation) is the up-component of the unit pointing vector.
+    sin_elev = (delta @ up) / np.maximum(distances, 1e-9)
+    sin_elev = np.clip(sin_elev, -1.0, 1.0)
+    return np.degrees(np.arcsin(sin_elev))
+
+
+def azimuth_elevation_deg(station: GroundStation,
+                          satellite_positions_ecef_m: np.ndarray
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+    """Azimuth and elevation of each satellite as seen from the GS.
+
+    Azimuth follows the paper's Fig. 12 convention: 0 deg = due North,
+    90 deg = due East, in [0, 360).
+
+    Returns:
+        ``(azimuths_deg, elevations_deg)``, each of shape (N,).
+    """
+    positions = np.atleast_2d(np.asarray(satellite_positions_ecef_m))
+    delta = positions - station.ecef_m
+    lat = station.position.latitude_rad
+    lon = station.position.longitude_rad
+    sin_lat, cos_lat = math.sin(lat), math.cos(lat)
+    sin_lon, cos_lon = math.sin(lon), math.cos(lon)
+    east = -sin_lon * delta[:, 0] + cos_lon * delta[:, 1]
+    north = (-sin_lat * cos_lon * delta[:, 0]
+             - sin_lat * sin_lon * delta[:, 1]
+             + cos_lat * delta[:, 2])
+    up = (cos_lat * cos_lon * delta[:, 0]
+          + cos_lat * sin_lon * delta[:, 1]
+          + sin_lat * delta[:, 2])
+    horizontal = np.hypot(east, north)
+    elevations = np.degrees(np.arctan2(up, horizontal))
+    azimuths = np.degrees(np.arctan2(east, north)) % 360.0
+    return azimuths, elevations
+
+
+def visible_satellite_ids(station: GroundStation,
+                          satellite_positions_ecef_m: np.ndarray,
+                          min_elevation_deg: float) -> np.ndarray:
+    """Ids (row indices) of satellites visible above ``min_elevation_deg``."""
+    elevations = elevation_angles_deg(station, satellite_positions_ecef_m)
+    return np.nonzero(elevations >= min_elevation_deg)[0]
+
+
+def max_slant_range_m(altitude_m: float, min_elevation_deg: float,
+                      earth_radius_m: float = EARTH_MEAN_RADIUS_M,
+                      orbit_radius_m: Optional[float] = None) -> float:
+    """Longest possible GS-satellite link at a given minimum elevation.
+
+    For a satellite at orbit radius ``R + h`` seen at elevation ``l`` from a
+    station at radius ``R``, the slant range follows from the law of
+    cosines:
+
+        d = -R sin(l) + sqrt((R + h)^2 - R^2 cos^2(l))
+
+    The range is maximal at the minimum elevation, so this bounds every
+    admissible GSL length — handy as a cheap distance-based visibility
+    prefilter and for worst-case GSL latency estimates.
+
+    Args:
+        altitude_m: Satellite altitude ``h`` above the surface.
+        min_elevation_deg: Minimum elevation angle ``l`` in degrees.
+        earth_radius_m: Station's distance from the Earth's center.
+        orbit_radius_m: Satellite's distance from the Earth's center;
+            defaults to ``earth_radius_m + altitude_m``.  Pass it
+            explicitly when station and satellite radii differ (ellipsoidal
+            stations, equatorial-radius orbits).
+
+    Returns:
+        The maximum admissible slant range in meters.
+    """
+    if altitude_m <= 0.0:
+        raise ValueError(f"altitude must be positive, got {altitude_m}")
+    if not 0.0 <= min_elevation_deg <= 90.0:
+        raise ValueError(
+            f"min elevation must be in [0, 90], got {min_elevation_deg}")
+    l_rad = math.radians(min_elevation_deg)
+    r = earth_radius_m
+    orbit_radius = (orbit_radius_m if orbit_radius_m is not None
+                    else earth_radius_m + altitude_m)
+    if orbit_radius <= r:
+        raise ValueError("orbit radius must exceed the station radius")
+    return (-r * math.sin(l_rad)
+            + math.sqrt(orbit_radius ** 2 - (r * math.cos(l_rad)) ** 2))

@@ -1,0 +1,101 @@
+"""Weather: rain attenuation over ground-satellite links.
+
+Paper §7 lists "incorporating a weather model would enable work on
+reliability and rerouting around bad weather" as future work.  This module
+provides the standard first-order model: rain over a ground station
+attenuates its radio links, which operators absorb by requiring a *higher*
+minimum elevation angle (shorter, steeper atmospheric paths) — heavy rain
+can take a station out entirely (penalty >= 90 deg).
+
+Events are explicit and deterministic, so experiments are reproducible;
+:meth:`WeatherModel.synthetic` generates a seeded random storm schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+__all__ = ["RainEvent", "WeatherModel"]
+
+
+@dataclass(frozen=True)
+class RainEvent:
+    """One rain episode over one ground station.
+
+    Attributes:
+        gid: Affected ground station.
+        start_s / end_s: Active interval (end exclusive).
+        elevation_penalty_deg: Added to the station's minimum elevation
+            while active; 90 or more forces a total outage.
+    """
+
+    gid: int
+    start_s: float
+    end_s: float
+    elevation_penalty_deg: float
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ValueError("event must end after it starts")
+        if self.elevation_penalty_deg < 0.0:
+            raise ValueError("penalty must be non-negative")
+
+    def active_at(self, time_s: float) -> bool:
+        return self.start_s <= time_s < self.end_s
+
+
+class WeatherModel:
+    """A schedule of rain events, queryable per station and time."""
+
+    def __init__(self, events: Sequence[RainEvent]) -> None:
+        self._by_gid: Dict[int, List[RainEvent]] = {}
+        for event in events:
+            self._by_gid.setdefault(event.gid, []).append(event)
+        for gid_events in self._by_gid.values():
+            gid_events.sort(key=lambda e: e.start_s)
+
+    @property
+    def num_events(self) -> int:
+        return sum(len(v) for v in self._by_gid.values())
+
+    def penalty_deg(self, gid: int, time_s: float) -> float:
+        """Total elevation penalty over station ``gid`` at ``time_s``."""
+        return sum(event.elevation_penalty_deg
+                   for event in self._by_gid.get(gid, ())
+                   if event.active_at(time_s))
+
+    def min_elevation_deg(self, gid: int, base_deg: float,
+                          time_s: float) -> float:
+        """Effective minimum elevation, capped at a total outage (90)."""
+        return min(90.0, base_deg + self.penalty_deg(gid, time_s))
+
+    def is_raining(self, gid: int, time_s: float) -> bool:
+        return self.penalty_deg(gid, time_s) > 0.0
+
+    @classmethod
+    def synthetic(cls, num_stations: int, duration_s: float,
+                  seed: int = 0, storm_probability: float = 0.2,
+                  mean_duration_s: float = 60.0,
+                  penalty_deg: float = 25.0) -> "WeatherModel":
+        """A seeded random storm schedule.
+
+        Each station independently gets a storm with
+        ``storm_probability``; storm start is uniform over the run and its
+        duration exponential around ``mean_duration_s``.
+        """
+        if not 0.0 <= storm_probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        rng = random.Random(seed)
+        events: List[RainEvent] = []
+        for gid in range(num_stations):
+            if rng.random() >= storm_probability:
+                continue
+            start = rng.uniform(0.0, duration_s)
+            duration = max(1.0, rng.expovariate(1.0 / mean_duration_s))
+            events.append(RainEvent(
+                gid=gid, start_s=start,
+                end_s=min(start + duration, duration_s + 1.0),
+                elevation_penalty_deg=penalty_deg))
+        return cls(events)

@@ -1,0 +1,236 @@
+"""Keplerian orbital elements and anomaly conversions.
+
+The constellations in the paper's Table 1 are all circular-orbit shells, but
+the machinery here supports general elliptical orbits so that TLE round-trips
+and perturbation-free propagation are exact for any bound orbit.
+
+Conventions:
+
+* Angles are radians internally; constructors accept degrees via the
+  ``*_deg`` keyword helpers.
+* The epoch is the simulation's t = 0; elements are osculating at the epoch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..geo.constants import EARTH_MU_M3_PER_S2, WGS72
+
+__all__ = [
+    "KeplerianElements",
+    "orbital_period_s",
+    "mean_motion_rad_per_s",
+    "orbital_velocity_m_per_s",
+    "semi_major_axis_from_period",
+    "mean_to_eccentric_anomaly",
+    "eccentric_to_true_anomaly",
+    "true_to_eccentric_anomaly",
+    "eccentric_to_mean_anomaly",
+    "mean_to_true_anomaly",
+    "wrap_angle",
+]
+
+TWO_PI = 2.0 * math.pi
+
+
+def wrap_angle(angle_rad: float) -> float:
+    """Wrap an angle to [0, 2*pi)."""
+    wrapped = math.fmod(angle_rad, TWO_PI)
+    if wrapped < 0.0:
+        wrapped += TWO_PI
+    # Tiny negative inputs round to exactly 2*pi above; keep the
+    # half-open interval.
+    if wrapped >= TWO_PI:
+        wrapped = 0.0
+    return wrapped
+
+
+@dataclass(frozen=True)
+class KeplerianElements:
+    """Classical orbital elements of an Earth-orbiting object.
+
+    Attributes:
+        semi_major_axis_m: Semi-major axis ``a`` (meters, measured from the
+            Earth's center).  For the circular shells of Table 1 this is
+            Earth radius + altitude.
+        eccentricity: Orbit eccentricity ``e`` in [0, 1).
+        inclination_rad: Inclination ``i`` of the orbital plane against the
+            equatorial plane, in [0, pi].
+        raan_rad: Right ascension of the ascending node (capital Omega).
+        arg_periapsis_rad: Argument of periapsis (small omega).  Undefined
+            for circular orbits; by convention zero there.
+        mean_anomaly_rad: Mean anomaly ``M`` at the epoch.
+        mu_m3_per_s2: Gravitational parameter; WGS72 Earth by default.
+    """
+
+    semi_major_axis_m: float
+    eccentricity: float = 0.0
+    inclination_rad: float = 0.0
+    raan_rad: float = 0.0
+    arg_periapsis_rad: float = 0.0
+    mean_anomaly_rad: float = 0.0
+    mu_m3_per_s2: float = EARTH_MU_M3_PER_S2
+
+    def __post_init__(self) -> None:
+        if self.semi_major_axis_m <= 0.0:
+            raise ValueError(
+                f"semi-major axis must be positive, got {self.semi_major_axis_m}")
+        if not 0.0 <= self.eccentricity < 1.0:
+            raise ValueError(
+                f"eccentricity must be in [0, 1), got {self.eccentricity}")
+        if not 0.0 <= self.inclination_rad <= math.pi:
+            raise ValueError(
+                f"inclination must be in [0, pi], got {self.inclination_rad}")
+
+    @classmethod
+    def circular(cls, altitude_m: float, inclination_deg: float,
+                 raan_deg: float = 0.0, mean_anomaly_deg: float = 0.0,
+                 earth_radius_m: float = WGS72.semi_major_axis_m,
+                 ) -> "KeplerianElements":
+        """Build elements for a circular orbit from filing-style parameters.
+
+        Args:
+            altitude_m: Height above the (equatorial) Earth surface — the
+                ``h`` column of paper Table 1.
+            inclination_deg: Inclination in degrees — the ``i`` column.
+            raan_deg: Ascending-node longitude in degrees; orbits of a shell
+                spread this uniformly over the Equator.
+            mean_anomaly_deg: Position of the satellite along the orbit.
+            earth_radius_m: Equatorial radius to add the altitude to.
+        """
+        return cls(
+            semi_major_axis_m=earth_radius_m + altitude_m,
+            eccentricity=0.0,
+            inclination_rad=math.radians(inclination_deg),
+            raan_rad=wrap_angle(math.radians(raan_deg)),
+            arg_periapsis_rad=0.0,
+            mean_anomaly_rad=wrap_angle(math.radians(mean_anomaly_deg)),
+        )
+
+    @property
+    def period_s(self) -> float:
+        """Orbital period via Kepler's third law (seconds)."""
+        return orbital_period_s(self.semi_major_axis_m, self.mu_m3_per_s2)
+
+    @property
+    def mean_motion_rad_per_s(self) -> float:
+        """Mean motion ``n = sqrt(mu / a^3)`` (rad/s)."""
+        return mean_motion_rad_per_s(self.semi_major_axis_m, self.mu_m3_per_s2)
+
+    @property
+    def mean_motion_rev_per_day(self) -> float:
+        """Mean motion in revolutions per day — the TLE representation."""
+        return self.mean_motion_rad_per_s * 86_400.0 / TWO_PI
+
+    def mean_anomaly_at(self, time_s: float) -> float:
+        """Mean anomaly after ``time_s`` seconds of unperturbed motion."""
+        return wrap_angle(self.mean_anomaly_rad
+                          + self.mean_motion_rad_per_s * time_s)
+
+    def with_mean_anomaly(self, mean_anomaly_rad: float) -> "KeplerianElements":
+        """A copy of these elements with a different mean anomaly."""
+        return replace(self, mean_anomaly_rad=wrap_angle(mean_anomaly_rad))
+
+
+def orbital_period_s(semi_major_axis_m: float,
+                     mu_m3_per_s2: float = EARTH_MU_M3_PER_S2) -> float:
+    """Kepler's third law: ``T = 2*pi * sqrt(a^3 / mu)``."""
+    if semi_major_axis_m <= 0.0:
+        raise ValueError("semi-major axis must be positive")
+    return TWO_PI * math.sqrt(semi_major_axis_m ** 3 / mu_m3_per_s2)
+
+
+def mean_motion_rad_per_s(semi_major_axis_m: float,
+                          mu_m3_per_s2: float = EARTH_MU_M3_PER_S2) -> float:
+    """Mean motion ``n = sqrt(mu / a^3)`` (rad/s)."""
+    if semi_major_axis_m <= 0.0:
+        raise ValueError("semi-major axis must be positive")
+    return math.sqrt(mu_m3_per_s2 / semi_major_axis_m ** 3)
+
+
+def orbital_velocity_m_per_s(semi_major_axis_m: float,
+                             mu_m3_per_s2: float = EARTH_MU_M3_PER_S2) -> float:
+    """Circular orbital velocity ``v = sqrt(mu / a)`` (m/s).
+
+    At h = 550 km this is ~7.6 km/s, i.e. more than 27,000 km/h — the paper's
+    headline satellite speed (§2.3).
+    """
+    if semi_major_axis_m <= 0.0:
+        raise ValueError("semi-major axis must be positive")
+    return math.sqrt(mu_m3_per_s2 / semi_major_axis_m)
+
+
+def semi_major_axis_from_period(period_s: float,
+                                mu_m3_per_s2: float = EARTH_MU_M3_PER_S2
+                                ) -> float:
+    """Invert Kepler's third law: the ``a`` giving orbital period ``T``."""
+    if period_s <= 0.0:
+        raise ValueError("period must be positive")
+    return (mu_m3_per_s2 * (period_s / TWO_PI) ** 2) ** (1.0 / 3.0)
+
+
+def mean_to_eccentric_anomaly(mean_anomaly_rad: float, eccentricity: float,
+                              tolerance: float = 1e-12,
+                              max_iterations: int = 50) -> float:
+    """Solve Kepler's equation ``M = E - e*sin(E)`` for ``E``.
+
+    Uses Newton-Raphson with the standard starting guess; converges
+    quadratically for all e < 1.  For circular orbits (e = 0) this is the
+    identity.
+    """
+    if not 0.0 <= eccentricity < 1.0:
+        raise ValueError(f"eccentricity must be in [0, 1), got {eccentricity}")
+    m = wrap_angle(mean_anomaly_rad)
+    if eccentricity == 0.0:
+        return m
+    # A good initial guess: E ~ M for small e, E ~ pi for large e.
+    e_anom = m if eccentricity < 0.8 else math.pi
+    for _ in range(max_iterations):
+        f = e_anom - eccentricity * math.sin(e_anom) - m
+        f_prime = 1.0 - eccentricity * math.cos(e_anom)
+        delta = f / f_prime
+        e_anom -= delta
+        if abs(delta) < tolerance:
+            break
+    return wrap_angle(e_anom)
+
+
+def eccentric_to_true_anomaly(eccentric_anomaly_rad: float,
+                              eccentricity: float) -> float:
+    """True anomaly ``nu`` from the eccentric anomaly ``E``."""
+    if eccentricity == 0.0:
+        return wrap_angle(eccentric_anomaly_rad)
+    half_e = eccentric_anomaly_rad / 2.0
+    nu = 2.0 * math.atan2(
+        math.sqrt(1.0 + eccentricity) * math.sin(half_e),
+        math.sqrt(1.0 - eccentricity) * math.cos(half_e),
+    )
+    return wrap_angle(nu)
+
+
+def true_to_eccentric_anomaly(true_anomaly_rad: float,
+                              eccentricity: float) -> float:
+    """Eccentric anomaly ``E`` from the true anomaly ``nu``."""
+    if eccentricity == 0.0:
+        return wrap_angle(true_anomaly_rad)
+    half_nu = true_anomaly_rad / 2.0
+    e_anom = 2.0 * math.atan2(
+        math.sqrt(1.0 - eccentricity) * math.sin(half_nu),
+        math.sqrt(1.0 + eccentricity) * math.cos(half_nu),
+    )
+    return wrap_angle(e_anom)
+
+
+def eccentric_to_mean_anomaly(eccentric_anomaly_rad: float,
+                              eccentricity: float) -> float:
+    """Kepler's equation forward: ``M = E - e*sin(E)``."""
+    return wrap_angle(eccentric_anomaly_rad
+                      - eccentricity * math.sin(eccentric_anomaly_rad))
+
+
+def mean_to_true_anomaly(mean_anomaly_rad: float, eccentricity: float) -> float:
+    """Compose the mean -> eccentric -> true anomaly chain."""
+    e_anom = mean_to_eccentric_anomaly(mean_anomaly_rad, eccentricity)
+    return eccentric_to_true_anomaly(e_anom, eccentricity)

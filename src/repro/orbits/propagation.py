@@ -1,0 +1,134 @@
+"""Two-body propagation of Keplerian orbits.
+
+Given osculating elements at the epoch, computes ECI (and via GMST rotation,
+ECEF) position and velocity at any later time, assuming unperturbed two-body
+motion.  This plays the role that the ns-3 satellite mobility model (itself
+wrapping an SGP4-style propagator) plays for the original Hypatia.
+
+Accuracy note (paper §3.2): the ns-3 model accrues 1-3 km of error per day
+against true trajectories; the paper argues this is immaterial for
+simulations under a few hours.  Two-body propagation of the filings'
+*nominal* circular orbits is the same class of approximation — the dominant
+omitted term (J2 nodal precession) moves a 550 km / 53 deg orbit's node by
+about 5 degrees per day, i.e. ~0.01 degrees over a 200 s experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..geo.coordinates import eci_to_ecef
+from .kepler import (
+    KeplerianElements,
+    eccentric_to_true_anomaly,
+    mean_to_eccentric_anomaly,
+)
+
+__all__ = ["OrbitState", "propagate_to_eci", "propagate_to_ecef",
+           "perifocal_to_eci_matrix"]
+
+
+@dataclass(frozen=True)
+class OrbitState:
+    """Position and velocity of an orbiting object at one instant.
+
+    Attributes:
+        position_m: 3-vector position in the requested frame (meters).
+        velocity_m_per_s: 3-vector velocity in the requested frame (m/s).
+        time_s: Seconds past the epoch this state is valid at.
+    """
+
+    position_m: np.ndarray
+    velocity_m_per_s: np.ndarray
+    time_s: float
+
+    @property
+    def speed_m_per_s(self) -> float:
+        """Magnitude of the velocity vector."""
+        return float(np.linalg.norm(self.velocity_m_per_s))
+
+    @property
+    def radius_m(self) -> float:
+        """Distance from the Earth's center."""
+        return float(np.linalg.norm(self.position_m))
+
+
+def perifocal_to_eci_matrix(elements: KeplerianElements) -> np.ndarray:
+    """Rotation matrix taking perifocal (PQW) coordinates to ECI.
+
+    The composition R3(-RAAN) * R1(-i) * R3(-argp), written out explicitly
+    to avoid three matrix multiplications per call.
+    """
+    cos_o = math.cos(elements.raan_rad)
+    sin_o = math.sin(elements.raan_rad)
+    cos_i = math.cos(elements.inclination_rad)
+    sin_i = math.sin(elements.inclination_rad)
+    cos_w = math.cos(elements.arg_periapsis_rad)
+    sin_w = math.sin(elements.arg_periapsis_rad)
+    return np.array([
+        [cos_o * cos_w - sin_o * sin_w * cos_i,
+         -cos_o * sin_w - sin_o * cos_w * cos_i,
+         sin_o * sin_i],
+        [sin_o * cos_w + cos_o * sin_w * cos_i,
+         -sin_o * sin_w + cos_o * cos_w * cos_i,
+         -cos_o * sin_i],
+        [sin_w * sin_i,
+         cos_w * sin_i,
+         cos_i],
+    ])
+
+
+def _perifocal_state(elements: KeplerianElements,
+                     time_s: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Position/velocity in the perifocal frame after ``time_s`` seconds."""
+    a = elements.semi_major_axis_m
+    e = elements.eccentricity
+    mu = elements.mu_m3_per_s2
+    mean_anomaly = elements.mean_anomaly_at(time_s)
+    e_anom = mean_to_eccentric_anomaly(mean_anomaly, e)
+    nu = eccentric_to_true_anomaly(e_anom, e)
+    # Orbit radius at this true anomaly.
+    r = a * (1.0 - e * math.cos(e_anom))
+    cos_nu, sin_nu = math.cos(nu), math.sin(nu)
+    position = np.array([r * cos_nu, r * sin_nu, 0.0])
+    # Vis-viva-consistent velocity in the perifocal frame.
+    p = a * (1.0 - e * e)
+    h = math.sqrt(mu * p)  # specific angular momentum
+    velocity = np.array([
+        -(mu / h) * sin_nu,
+        (mu / h) * (e + cos_nu),
+        0.0,
+    ])
+    return position, velocity
+
+
+def propagate_to_eci(elements: KeplerianElements, time_s: float) -> OrbitState:
+    """Two-body-propagate elements to an ECI state at ``time_s``."""
+    position_pqw, velocity_pqw = _perifocal_state(elements, time_s)
+    rot = perifocal_to_eci_matrix(elements)
+    return OrbitState(
+        position_m=rot @ position_pqw,
+        velocity_m_per_s=rot @ velocity_pqw,
+        time_s=time_s,
+    )
+
+
+def propagate_to_ecef(elements: KeplerianElements, time_s: float,
+                      gmst_at_epoch_rad: float = 0.0) -> OrbitState:
+    """Two-body-propagate elements to an ECEF state at ``time_s``.
+
+    The returned velocity is the ECI velocity rotated into the ECEF frame
+    (i.e. it does not subtract the frame's own rotation); for the link-length
+    geometry this framework needs, only positions matter.
+    """
+    eci = propagate_to_eci(elements, time_s)
+    return OrbitState(
+        position_m=eci_to_ecef(eci.position_m, time_s, gmst_at_epoch_rad),
+        velocity_m_per_s=eci_to_ecef(eci.velocity_m_per_s, time_s,
+                                     gmst_at_epoch_rad),
+        time_s=time_s,
+    )

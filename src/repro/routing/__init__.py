@@ -1,0 +1,13 @@
+"""Shortest-path routing and forwarding state over topology snapshots."""
+
+from .engine import UNREACHABLE, DestinationRouting, RoutingEngine
+from .multipath import edge_disjoint_paths, k_shortest_paths, path_distance_m
+
+__all__ = [
+    "UNREACHABLE",
+    "DestinationRouting",
+    "RoutingEngine",
+    "edge_disjoint_paths",
+    "k_shortest_paths",
+    "path_distance_m",
+]

@@ -1,0 +1,227 @@
+"""Shortest-path routing over topology snapshots.
+
+Paper §3.1: for every time interval, Hypatia generates the network graph
+(accounting for satellite positions and link lengths) and computes each
+node's forwarding state with shortest-path routing.
+
+This engine reproduces that computation with one single-source Dijkstra per
+*destination* ground station (scipy's C implementation), exploiting two
+structural facts:
+
+* Only satellites — and, in bent-pipe mode, relay ground stations — may
+  forward traffic.  Ordinary GSes are endpoints.  The engine therefore
+  builds a "transit graph" of ISLs plus relay GSLs in which non-relay GS
+  nodes are isolated, and attaches only the destination's own GSLs per
+  query.  Paths can then never transit a third ground station.
+* All links are symmetric, so the shortest-path tree rooted at the
+  destination simultaneously yields (a) the distance from every satellite
+  to the destination and (b) every satellite's next hop toward it — exactly
+  the forwarding state the packet simulator installs.
+
+A source GS's ingress satellite is chosen afterwards by minimizing
+``uplink + satellite-to-destination`` over its visible satellites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from ..geo.constants import SPEED_OF_LIGHT_M_PER_S
+from ..topology.gsl import GslEdges
+from ..topology.network import LeoNetwork, TopologySnapshot
+
+__all__ = ["DestinationRouting", "RoutingEngine", "UNREACHABLE"]
+
+#: Marker used in next-hop arrays for "no route".
+UNREACHABLE = -1
+
+
+@dataclass(frozen=True)
+class DestinationRouting:
+    """Shortest-path state toward one destination GS at one instant.
+
+    Attributes:
+        dst_gid: Destination ground station id.
+        dst_node: Its graph node id.
+        distance_m: (num_nodes,) distance to the destination from every
+            transit node (satellites and relays); ``inf`` where unreachable
+            and for isolated non-relay GS nodes.
+        next_hop: (num_nodes,) next node id on the shortest path toward the
+            destination, ``UNREACHABLE`` where none exists.  For the last
+            satellite before the destination this is ``dst_node`` itself
+            (i.e. "send down the GSL").
+    """
+
+    dst_gid: int
+    dst_node: int
+    distance_m: np.ndarray
+    next_hop: np.ndarray
+
+    def source_ingress(self, source_edges: GslEdges
+                       ) -> Tuple[Optional[int], float]:
+        """Best ingress satellite for a source GS with the given GSLs.
+
+        Returns:
+            ``(satellite_id, total_distance_m)``; ``(None, inf)`` if the
+            destination is unreachable from this source right now.
+        """
+        if not source_edges.is_connected:
+            return None, float("inf")
+        totals = (source_edges.lengths_m
+                  + self.distance_m[source_edges.satellite_ids])
+        best = int(np.argmin(totals))
+        total = float(totals[best])
+        if not np.isfinite(total):
+            return None, float("inf")
+        return int(source_edges.satellite_ids[best]), total
+
+
+class RoutingEngine:
+    """Computes shortest-path forwarding state over a network's snapshots.
+
+    Args:
+        network: The LEO network; its node-numbering convention is adopted.
+
+    The engine is stateless across snapshots apart from the static edge
+    index arrays (ISL endpoints, relay identities), which it precomputes
+    once.
+    """
+
+    def __init__(self, network: LeoNetwork) -> None:
+        self.network = network
+        self._num_sats = network.num_satellites
+        self._num_nodes = network.num_nodes
+        self._relay_gids = [
+            station.gid for station in network.ground_stations
+            if station.is_relay
+        ]
+
+    # ------------------------------------------------------------------
+    # Core per-destination computation
+    # ------------------------------------------------------------------
+
+    def route_to(self, snapshot: TopologySnapshot,
+                 dst_gid: int) -> DestinationRouting:
+        """Shortest-path state toward ``dst_gid`` at this snapshot."""
+        rows, cols, data = self._transit_edges(snapshot)
+        dst_node = snapshot.gs_node_id(dst_gid)
+        dst_edges = snapshot.gsl_edges[dst_gid]
+        if dst_edges.is_connected and dst_gid not in self._relay_gids:
+            rows = np.concatenate(
+                [rows, np.full(len(dst_edges.satellite_ids), dst_node)])
+            cols = np.concatenate([cols, dst_edges.satellite_ids])
+            data = np.concatenate([data, dst_edges.lengths_m])
+        graph = csr_matrix((data, (rows, cols)),
+                           shape=(self._num_nodes, self._num_nodes))
+        distances, predecessors = dijkstra(
+            graph, directed=False, indices=dst_node,
+            return_predecessors=True)
+        next_hop = predecessors.astype(np.int64)
+        next_hop[next_hop < 0] = UNREACHABLE
+        return DestinationRouting(
+            dst_gid=dst_gid,
+            dst_node=dst_node,
+            distance_m=distances,
+            next_hop=next_hop,
+        )
+
+    def _transit_edges(self, snapshot: TopologySnapshot
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Edge arrays of the transit graph (ISLs + relay GSLs)."""
+        rows_list: List[np.ndarray] = [snapshot.isl_pairs[:, 0]]
+        cols_list: List[np.ndarray] = [snapshot.isl_pairs[:, 1]]
+        data_list: List[np.ndarray] = [snapshot.isl_lengths_m]
+        for gid in self._relay_gids:
+            edges = snapshot.gsl_edges[gid]
+            if not edges.is_connected:
+                continue
+            node = snapshot.gs_node_id(gid)
+            rows_list.append(np.full(len(edges.satellite_ids), node))
+            cols_list.append(edges.satellite_ids)
+            data_list.append(edges.lengths_m)
+        return (np.concatenate(rows_list).astype(np.int64),
+                np.concatenate(cols_list).astype(np.int64),
+                np.concatenate(data_list).astype(np.float64))
+
+    # ------------------------------------------------------------------
+    # Pair-level queries
+    # ------------------------------------------------------------------
+
+    def pair_distance_m(self, snapshot: TopologySnapshot,
+                        src_gid: int, dst_gid: int) -> float:
+        """Shortest-path distance between two GSes; inf if disconnected."""
+        routing = self.route_to(snapshot, dst_gid)
+        _, distance = routing.source_ingress(snapshot.gsl_edges[src_gid])
+        return distance
+
+    def pair_rtt_s(self, snapshot: TopologySnapshot,
+                   src_gid: int, dst_gid: int) -> float:
+        """Propagation-only RTT between two GSes (paper's 'Computed' RTT)."""
+        distance = self.pair_distance_m(snapshot, src_gid, dst_gid)
+        return 2.0 * distance / SPEED_OF_LIGHT_M_PER_S
+
+    def path(self, snapshot: TopologySnapshot, src_gid: int,
+             dst_gid: int) -> Optional[List[int]]:
+        """Node-id list of the shortest path, or None if disconnected.
+
+        The list runs ``[src_node, ingress_sat, ..., egress_sat, dst_node]``
+        and may include relay GS nodes in bent-pipe mode.
+        """
+        routing = self.route_to(snapshot, dst_gid)
+        return self.path_via(routing, snapshot, src_gid)
+
+    def path_via(self, routing: DestinationRouting,
+                 snapshot: TopologySnapshot,
+                 src_gid: int) -> Optional[List[int]]:
+        """Like :meth:`path` but reusing an existing destination tree."""
+        src_edges = snapshot.gsl_edges[src_gid]
+        ingress, distance = routing.source_ingress(src_edges)
+        if ingress is None or not np.isfinite(distance):
+            return None
+        nodes = [snapshot.gs_node_id(src_gid)]
+        current = ingress
+        # Walk the shortest-path tree; bounded by node count.
+        for _ in range(self._num_nodes + 1):
+            nodes.append(int(current))
+            if current == routing.dst_node:
+                return nodes
+            current = routing.next_hop[current]
+            if current == UNREACHABLE:
+                return None
+        raise RuntimeError("next-hop walk did not terminate; routing state "
+                           "is inconsistent")
+
+    def distances_to(self, snapshot: TopologySnapshot, dst_gid: int,
+                     src_gids: Sequence[int]) -> np.ndarray:
+        """Distances from many sources to one destination (meters)."""
+        routing = self.route_to(snapshot, dst_gid)
+        out = np.empty(len(src_gids))
+        for i, src_gid in enumerate(src_gids):
+            if src_gid == dst_gid:
+                out[i] = 0.0
+                continue
+            _, out[i] = routing.source_ingress(snapshot.gsl_edges[src_gid])
+        return out
+
+    def all_pairs_distance_m(self, snapshot: TopologySnapshot,
+                             gids: Optional[Sequence[int]] = None
+                             ) -> np.ndarray:
+        """(G, G) matrix of GS-to-GS shortest-path distances.
+
+        Symmetric by construction (links are symmetric); entry ``[i, j]`` is
+        ``inf`` where no path exists and 0 on the diagonal.
+        """
+        if gids is None:
+            gids = range(self.network.num_ground_stations)
+        gids = list(gids)
+        matrix = np.zeros((len(gids), len(gids)))
+        for j, dst_gid in enumerate(gids):
+            distances = self.distances_to(snapshot, dst_gid, gids)
+            matrix[:, j] = distances
+            matrix[j, j] = 0.0
+        return matrix

@@ -1,0 +1,99 @@
+"""Multipath routing (paper §7: "work on multi-path routing ... will
+require some modifications to Hypatia").
+
+Two primitives over a topology snapshot:
+
+* :func:`k_shortest_paths` — Yen-style loopless k-shortest paths between
+  two ground stations (via networkx over the GS-transit-excluded graph);
+* :func:`edge_disjoint_paths` — greedy edge-disjoint path set, the
+  building block for traffic-splitting schemes that avoid shared
+  bottlenecks (the paper's §5.4/TE takeaway).
+
+Both honor the framework's rule that only satellites (and relays) forward:
+other ground stations are removed from the search graph.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+from ..topology.network import TopologySnapshot
+
+__all__ = ["k_shortest_paths", "edge_disjoint_paths", "path_distance_m"]
+
+
+def _search_graph(snapshot: TopologySnapshot, src_gid: int,
+                  dst_gid: int) -> nx.Graph:
+    """The snapshot graph with third-party (non-relay) GSes removed."""
+    graph = snapshot.to_networkx()
+    keep = {snapshot.gs_node_id(src_gid), snapshot.gs_node_id(dst_gid)}
+    for gid in range(snapshot.num_ground_stations):
+        node = snapshot.gs_node_id(gid)
+        if node not in keep and not graph.nodes[node].get("is_relay", False):
+            graph.remove_node(node)
+    return graph
+
+
+def path_distance_m(graph: nx.Graph, path: List[int]) -> float:
+    """Total length of a path in the snapshot graph."""
+    return sum(graph[a][b]["distance_m"] for a, b in zip(path, path[1:]))
+
+
+def k_shortest_paths(snapshot: TopologySnapshot, src_gid: int,
+                     dst_gid: int, k: int
+                     ) -> List[Tuple[List[int], float]]:
+    """The ``k`` shortest loopless paths between two ground stations.
+
+    Args:
+        snapshot: The topology at one instant.
+        src_gid / dst_gid: Endpoints.
+        k: Number of paths requested.
+
+    Returns:
+        Up to ``k`` ``(node-id path, distance_m)`` tuples, sorted by
+        distance; empty if the pair is disconnected.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if src_gid == dst_gid:
+        raise ValueError("endpoints must differ")
+    graph = _search_graph(snapshot, src_gid, dst_gid)
+    src = snapshot.gs_node_id(src_gid)
+    dst = snapshot.gs_node_id(dst_gid)
+    try:
+        generator = nx.shortest_simple_paths(graph, src, dst,
+                                             weight="distance_m")
+        paths = list(islice(generator, k))
+    except nx.NetworkXNoPath:
+        return []
+    return [(path, path_distance_m(graph, path)) for path in paths]
+
+
+def edge_disjoint_paths(snapshot: TopologySnapshot, src_gid: int,
+                        dst_gid: int, max_paths: int = 4
+                        ) -> List[Tuple[List[int], float]]:
+    """Greedy shortest edge-disjoint paths between two ground stations.
+
+    Repeatedly takes the current shortest path and removes its edges;
+    stops when the pair disconnects or ``max_paths`` is reached.  Greedy
+    disjoint routing is the classic baseline for multipath TE: no two
+    returned paths share any ISL or GSL, so splitting traffic across them
+    cannot self-contend.
+    """
+    if max_paths < 1:
+        raise ValueError(f"max_paths must be >= 1, got {max_paths}")
+    graph = _search_graph(snapshot, src_gid, dst_gid)
+    src = snapshot.gs_node_id(src_gid)
+    dst = snapshot.gs_node_id(dst_gid)
+    found: List[Tuple[List[int], float]] = []
+    for _ in range(max_paths):
+        try:
+            path = nx.shortest_path(graph, src, dst, weight="distance_m")
+        except nx.NetworkXNoPath:
+            break
+        found.append((path, path_distance_m(graph, path)))
+        graph.remove_edges_from(list(zip(path, path[1:])))
+    return found

@@ -1,0 +1,22 @@
+"""Packet-level discrete-event network simulator (the ns-3 substitute)."""
+
+from .devices import DeviceStats, LinkDevice
+from .events import EventScheduler
+from .forwarding import ForwardingController
+from .packet import DEFAULT_HEADER_BYTES, DEFAULT_MTU_BYTES, Packet
+from .positions import PositionService
+from .simulator import LinkConfig, PacketSimulator, SimulationStats
+
+__all__ = [
+    "DeviceStats",
+    "LinkDevice",
+    "EventScheduler",
+    "ForwardingController",
+    "DEFAULT_HEADER_BYTES",
+    "DEFAULT_MTU_BYTES",
+    "Packet",
+    "PositionService",
+    "LinkConfig",
+    "PacketSimulator",
+    "SimulationStats",
+]

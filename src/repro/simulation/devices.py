@@ -1,0 +1,137 @@
+"""Network devices: drop-tail queues feeding rate-limited transmitters.
+
+Mirrors the ns-3 point-to-point device model the paper's experiments use:
+
+* every device owns a FIFO drop-tail queue sized in packets (paper default
+  100);
+* transmission takes ``size * 8 / rate`` seconds of exclusive device time
+  (serialization delay);
+* on transmit completion the packet incurs the *current* propagation delay
+  to its next hop — recomputed from live satellite geometry — and is
+  delivered there.
+
+Per paper §3.1, each satellite has one device per ISL plus a single shared
+GSL device; each ground station has a single GSL device.  The sharing is
+load-bearing: in the Appendix-A bent-pipe experiment, data packets and the
+reverse flow's ACKs contend for the same satellite GSL device queue, which
+visibly perturbs TCP (Fig. 19(b)).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from .events import EventScheduler
+from .packet import Packet
+from .positions import PositionService
+
+__all__ = ["LinkDevice", "DeviceStats"]
+
+
+class DeviceStats:
+    """Counters of one device, for utilization and loss accounting."""
+
+    __slots__ = ("packets_sent", "bytes_sent", "packets_dropped",
+                 "busy_time_s")
+
+    def __init__(self) -> None:
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.packets_dropped = 0
+        self.busy_time_s = 0.0
+
+    def utilization(self, rate_bps: float, duration_s: float) -> float:
+        """Fraction of ``duration_s`` the transmitter was busy."""
+        if duration_s <= 0.0:
+            return 0.0
+        _ = rate_bps
+        return min(1.0, self.busy_time_s / duration_s)
+
+
+class LinkDevice:
+    """One transmitting device of a node (an ISL endpoint or a GSL radio).
+
+    Args:
+        scheduler: The simulation clock.
+        positions: Geometry service for live propagation delays.
+        node_id: Owning node.
+        rate_bps: Line rate (bits/second).
+        queue_packets: Drop-tail queue capacity, in packets, *excluding* the
+            packet currently being serialized (ns-3 convention).
+        deliver: Callback ``(packet, to_node)`` invoked at the receiver after
+            serialization + propagation.
+        name: Diagnostic label, e.g. ``"isl-17-18"`` or ``"gsl-1203"``.
+    """
+
+    __slots__ = ("_scheduler", "_positions", "node_id", "rate_bps",
+                 "queue_packets", "_deliver", "name", "_queue", "_busy",
+                 "stats")
+
+    def __init__(self, scheduler: EventScheduler, positions: PositionService,
+                 node_id: int, rate_bps: float, queue_packets: int,
+                 deliver: Callable[[Packet, int], None],
+                 name: str = "") -> None:
+        if rate_bps <= 0.0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        if queue_packets < 0:
+            raise ValueError(f"queue size must be >= 0, got {queue_packets}")
+        self._scheduler = scheduler
+        self._positions = positions
+        self.node_id = node_id
+        self.rate_bps = rate_bps
+        self.queue_packets = queue_packets
+        self._deliver = deliver
+        self.name = name or f"dev-{node_id}"
+        self._queue: Deque[Tuple[Packet, int]] = deque()
+        self._busy = False
+        self.stats = DeviceStats()
+
+    @property
+    def queue_length(self) -> int:
+        """Packets currently waiting (not counting the one in flight)."""
+        return len(self._queue)
+
+    @property
+    def is_busy(self) -> bool:
+        """Whether a packet is currently being serialized."""
+        return self._busy
+
+    def enqueue(self, packet: Packet, to_node: int) -> bool:
+        """Submit a packet for transmission to ``to_node``.
+
+        Returns:
+            False if the drop-tail queue was full and the packet was lost.
+        """
+        if self._busy:
+            if len(self._queue) >= self.queue_packets:
+                self.stats.packets_dropped += 1
+                return False
+            self._queue.append((packet, to_node))
+            return True
+        self._start_transmission(packet, to_node)
+        return True
+
+    def _start_transmission(self, packet: Packet, to_node: int) -> None:
+        self._busy = True
+        tx_time = packet.size_bytes * 8.0 / self.rate_bps
+        self.stats.busy_time_s += tx_time
+        self._scheduler.schedule(
+            tx_time, lambda: self._finish_transmission(packet, to_node))
+
+    def _finish_transmission(self, packet: Packet, to_node: int) -> None:
+        now = self._scheduler.now
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += packet.size_bytes
+        # Propagation delay from live geometry at the moment the last bit
+        # leaves the transmitter (paper: "latencies are correctly calculated
+        # based on satellite motion").
+        propagation = self._positions.delay_s(self.node_id, to_node, now)
+        deliver = self._deliver
+        self._scheduler.schedule(propagation,
+                                 lambda: deliver(packet, to_node))
+        if self._queue:
+            next_packet, next_to = self._queue.popleft()
+            self._start_transmission(next_packet, next_to)
+        else:
+            self._busy = False

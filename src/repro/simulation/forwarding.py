@@ -1,0 +1,122 @@
+"""Time-stepped forwarding state inside the packet simulator.
+
+Paper §3.1: forwarding state is precomputed at a configurable granularity
+(default 100 ms) and its changes are injected into the discrete event
+queue: when the event fires, new static routing entries are read, and the
+next change event is scheduled one interval later.  This module is that
+mechanism.
+
+Between updates, packets follow the *installed* state even though satellites
+keep moving — which is exactly what produces the paper's observed detour
+spikes (Fig. 3(c)) when a packet chases a path that is no longer shortest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from ..routing.engine import UNREACHABLE, DestinationRouting, RoutingEngine
+from ..topology.network import LeoNetwork, TopologySnapshot
+from .events import EventScheduler
+
+__all__ = ["ForwardingController"]
+
+
+class ForwardingController:
+    """Installs and refreshes shortest-path forwarding state periodically.
+
+    Args:
+        network: The LEO network.
+        scheduler: The simulation clock to hook update events into.
+        update_interval_s: Forwarding-state recomputation period (paper
+            default 0.1 s).
+    """
+
+    def __init__(self, network: LeoNetwork, scheduler: EventScheduler,
+                 update_interval_s: float = 0.1) -> None:
+        if update_interval_s <= 0.0:
+            raise ValueError(
+                f"update interval must be positive, got {update_interval_s}")
+        self.network = network
+        self.update_interval_s = update_interval_s
+        self._scheduler = scheduler
+        self._engine = RoutingEngine(network)
+        self._destinations: Set[int] = set()
+        self._routing: Dict[int, DestinationRouting] = {}
+        self._ingress_cache: Dict[Tuple[int, int], Optional[int]] = {}
+        self._snapshot: Optional[TopologySnapshot] = None
+        self._started = False
+        self._num_sats = network.num_satellites
+
+    @property
+    def snapshot(self) -> Optional[TopologySnapshot]:
+        """The snapshot the installed forwarding state was computed from."""
+        return self._snapshot
+
+    def register_destination(self, dst_gid: int) -> None:
+        """Declare that traffic will be addressed to this ground station.
+
+        Must be called before :meth:`start` or mid-run; state for newly
+        registered destinations is computed at the next update (or
+        immediately if the controller is already running).
+        """
+        if not 0 <= dst_gid < self.network.num_ground_stations:
+            raise ValueError(f"gid {dst_gid} out of range")
+        self._destinations.add(dst_gid)
+        if self._started and self._snapshot is not None:
+            self._routing[dst_gid] = self._engine.route_to(
+                self._snapshot, dst_gid)
+
+    def start(self) -> None:
+        """Install state for time 0 and schedule periodic refreshes."""
+        if self._started:
+            raise RuntimeError("forwarding controller already started")
+        self._started = True
+        self._update()
+
+    def _update(self) -> None:
+        now = self._scheduler.now
+        self._snapshot = self.network.snapshot(now)
+        self._routing = {
+            dst_gid: self._engine.route_to(self._snapshot, dst_gid)
+            for dst_gid in self._destinations
+        }
+        self._ingress_cache.clear()
+        self._scheduler.schedule(self.update_interval_s, self._update)
+
+    # ------------------------------------------------------------------
+    # Lookup API used by the packet forwarder
+    # ------------------------------------------------------------------
+
+    def next_hop_from_satellite(self, sat_id: int,
+                                dst_gid: int) -> Optional[int]:
+        """Installed next hop of a satellite toward a destination GS."""
+        routing = self._routing.get(dst_gid)
+        if routing is None:
+            raise KeyError(f"destination gid {dst_gid} was never registered")
+        hop = int(routing.next_hop[sat_id])
+        return None if hop == UNREACHABLE else hop
+
+    def next_hop_from_ground(self, src_gid: int,
+                             dst_gid: int) -> Optional[int]:
+        """Installed ingress satellite of a ground station (source/relay).
+
+        For relay GSes the transit tree already contains them, so their
+        next hop comes straight from the predecessor array; plain source
+        GSes choose the ingress minimizing uplink + satellite distance.
+        """
+        routing = self._routing.get(dst_gid)
+        if routing is None:
+            raise KeyError(f"destination gid {dst_gid} was never registered")
+        station = self.network.ground_stations[src_gid]
+        node_id = self.network.gs_node_id(src_gid)
+        if station.is_relay:
+            hop = int(routing.next_hop[node_id])
+            return None if hop == UNREACHABLE else hop
+        key = (src_gid, dst_gid)
+        if key not in self._ingress_cache:
+            assert self._snapshot is not None
+            ingress, _ = routing.source_ingress(
+                self._snapshot.gsl_edges[src_gid])
+            self._ingress_cache[key] = ingress
+        return self._ingress_cache[key]

@@ -1,0 +1,231 @@
+"""The packet-level LEO network simulator.
+
+This is the reproduction of Hypatia's ns-3 module: a discrete-event
+simulator over the time-varying constellation topology, with
+
+* drop-tail devices per ISL direction and one shared GSL device per node,
+* live per-packet propagation delays from satellite geometry,
+* periodic forwarding-state updates injected as events (paper §3.1),
+* loss-free GS handoffs (in-flight packets are still delivered after a
+  satellite moves out of reach; new packets just stop being routed to it —
+  paper §3.1's simplifying assumption).
+
+Applications (TCP/UDP/ping, in :mod:`repro.transport`) attach to ground
+station nodes and exchange packets identified by flow ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..topology.network import LeoNetwork
+from .devices import LinkDevice
+from .events import EventScheduler
+from .forwarding import ForwardingController
+from .packet import Packet
+from .positions import PositionService
+
+__all__ = ["LinkConfig", "PacketSimulator", "SimulationStats"]
+
+#: Packets are dropped after this many forwarding steps; transient routing
+#: inconsistencies during state updates can otherwise loop a packet.
+MAX_HOPS = 64
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Link-layer parameters, uniform across the network (paper §3.4).
+
+    Attributes:
+        isl_rate_bps: Line rate of every ISL.
+        gsl_rate_bps: Line rate of every GSL device.
+        isl_queue_packets: Drop-tail queue capacity per ISL device.
+        gsl_queue_packets: Drop-tail queue capacity per GSL device.
+    """
+
+    isl_rate_bps: float = 10_000_000.0
+    gsl_rate_bps: float = 10_000_000.0
+    isl_queue_packets: int = 100
+    gsl_queue_packets: int = 100
+
+    def __post_init__(self) -> None:
+        if self.isl_rate_bps <= 0 or self.gsl_rate_bps <= 0:
+            raise ValueError("link rates must be positive")
+        if self.isl_queue_packets < 0 or self.gsl_queue_packets < 0:
+            raise ValueError("queue sizes must be non-negative")
+
+
+class SimulationStats:
+    """Network-layer counters of one simulation run."""
+
+    def __init__(self) -> None:
+        self.packets_forwarded = 0
+        self.packets_delivered = 0
+        self.packets_dropped_no_route = 0
+        self.packets_dropped_queue = 0
+        self.packets_dropped_ttl = 0
+
+    @property
+    def packets_dropped(self) -> int:
+        """All drops regardless of cause."""
+        return (self.packets_dropped_no_route + self.packets_dropped_queue
+                + self.packets_dropped_ttl)
+
+
+class PacketSimulator:
+    """Discrete-event packet simulation over a LEO network.
+
+    Args:
+        network: Constellation + ground stations + connectivity parameters.
+        link_config: Uniform link rates and queue sizes.
+        forwarding_interval_s: Forwarding-state update period (default
+            100 ms, the paper's default granularity).
+        position_quantum_s: Geometry memoization grid for per-packet delays.
+
+    Typical use::
+
+        sim = PacketSimulator(network)
+        app = TcpSender(...); app.install(sim)
+        sim.run(200.0)
+    """
+
+    def __init__(self, network: LeoNetwork,
+                 link_config: Optional[LinkConfig] = None,
+                 forwarding_interval_s: float = 0.1,
+                 position_quantum_s: float = 0.001,
+                 isl_rate_overrides: Optional[
+                     Dict[Tuple[int, int], float]] = None,
+                 gsl_rate_overrides: Optional[Dict[int, float]] = None
+                 ) -> None:
+        """See class docstring.
+
+        ``isl_rate_overrides`` (keyed by *directed* satellite pair) and
+        ``gsl_rate_overrides`` (keyed by node id) assign individual
+        devices a line rate different from the uniform config — the
+        paper's §7 link-capacity heterogeneity ("satellite capabilities
+        may advance over time").  An undirected upgrade needs both
+        directions.
+        """
+        self.network = network
+        self.config = link_config or LinkConfig()
+        isl_rate_overrides = isl_rate_overrides or {}
+        gsl_rate_overrides = gsl_rate_overrides or {}
+        self.scheduler = EventScheduler()
+        self.positions = PositionService(network, quantum_s=position_quantum_s)
+        self.forwarding = ForwardingController(
+            network, self.scheduler, update_interval_s=forwarding_interval_s)
+        self.stats = SimulationStats()
+        self._num_sats = network.num_satellites
+        isl_pair_set = {(int(a), int(b)) for a, b in network.isl_pairs}
+        isl_pair_set |= {(b, a) for a, b in isl_pair_set}
+        for key in isl_rate_overrides:
+            if tuple(key) not in isl_pair_set:
+                raise ValueError(f"ISL rate override for non-ISL {key}")
+        self._isl_devices: Dict[Tuple[int, int], LinkDevice] = {}
+        for a, b in network.isl_pairs:
+            a, b = int(a), int(b)
+            for src, dst in ((a, b), (b, a)):
+                rate = isl_rate_overrides.get((src, dst),
+                                              self.config.isl_rate_bps)
+                self._isl_devices[(src, dst)] = LinkDevice(
+                    self.scheduler, self.positions, src,
+                    rate, self.config.isl_queue_packets,
+                    self._receive, name=f"isl-{src}-{dst}")
+        self._gsl_devices: Dict[int, LinkDevice] = {}
+        for node in range(network.num_nodes):
+            rate = gsl_rate_overrides.get(node, self.config.gsl_rate_bps)
+            self._gsl_devices[node] = LinkDevice(
+                self.scheduler, self.positions, node,
+                rate, self.config.gsl_queue_packets,
+                self._receive, name=f"gsl-{node}")
+        # (node_id, flow_id) -> packet handler of the application endpoint.
+        self._handlers: Dict[Tuple[int, int], Callable[[Packet], None]] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Application-facing API
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self.scheduler.now
+
+    def gs_node_id(self, gid: int) -> int:
+        """Node id of ground station ``gid``."""
+        return self.network.gs_node_id(gid)
+
+    def gid_of_node(self, node_id: int) -> int:
+        """Ground station id of a GS node."""
+        if node_id < self._num_sats:
+            raise ValueError(f"node {node_id} is a satellite")
+        return node_id - self._num_sats
+
+    def register_handler(self, node_id: int, flow_id: int,
+                         handler: Callable[[Packet], None]) -> None:
+        """Receive packets of ``flow_id`` arriving at ``node_id``."""
+        key = (node_id, flow_id)
+        if key in self._handlers:
+            raise ValueError(
+                f"flow {flow_id} already has a handler at node {node_id}")
+        self._handlers[key] = handler
+        if node_id >= self._num_sats:
+            # Any endpoint of the flow may be a destination of its packets.
+            self.forwarding.register_destination(self.gid_of_node(node_id))
+
+    def send(self, packet: Packet) -> None:
+        """Inject a packet at its source node (called by applications)."""
+        self._forward(packet.src_node, packet)
+
+    def run(self, duration_s: float) -> None:
+        """Start (if needed) and run the simulation until ``duration_s``."""
+        if not self._started:
+            self._started = True
+            self.forwarding.start()
+        self.scheduler.run(until_s=duration_s)
+
+    def isl_device(self, from_sat: int, to_sat: int) -> LinkDevice:
+        """The directed device of an ISL (for stats inspection)."""
+        return self._isl_devices[(from_sat, to_sat)]
+
+    def gsl_device(self, node_id: int) -> LinkDevice:
+        """The shared GSL device of a node (for stats inspection)."""
+        return self._gsl_devices[node_id]
+
+    # ------------------------------------------------------------------
+    # Forwarding plane
+    # ------------------------------------------------------------------
+
+    def _forward(self, node: int, packet: Packet) -> None:
+        if packet.hops >= MAX_HOPS:
+            self.stats.packets_dropped_ttl += 1
+            return
+        packet.hops += 1
+        dst_gid = packet.dst_node - self._num_sats
+        if node >= self._num_sats:
+            next_hop = self.forwarding.next_hop_from_ground(
+                node - self._num_sats, dst_gid)
+        else:
+            next_hop = self.forwarding.next_hop_from_satellite(node, dst_gid)
+        if next_hop is None:
+            self.stats.packets_dropped_no_route += 1
+            return
+        device = self._device_for(node, next_hop)
+        self.stats.packets_forwarded += 1
+        if not device.enqueue(packet, next_hop):
+            self.stats.packets_dropped_queue += 1
+
+    def _device_for(self, node: int, next_hop: int) -> LinkDevice:
+        if node < self._num_sats and next_hop < self._num_sats:
+            return self._isl_devices[(node, next_hop)]
+        return self._gsl_devices[node]
+
+    def _receive(self, packet: Packet, node: int) -> None:
+        if node == packet.dst_node:
+            handler = self._handlers.get((node, packet.flow_id))
+            if handler is not None:
+                self.stats.packets_delivered += 1
+                handler(packet)
+            return
+        self._forward(node, packet)

@@ -1,0 +1,172 @@
+"""Dynamic state: forwarding/path evolution over discrete time steps.
+
+Paper §3.1/§5.3: Hypatia converts the continuous process of satellite
+motion into discrete intervals (default 100 ms) at which forwarding state
+is recomputed; link latencies stay continuous in between.  This module
+drives that schedule: it walks the snapshots, records each tracked pair's
+shortest path and distance, and exposes the timelines downstream analyses
+(Figs. 3, 6-9) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.constants import SPEED_OF_LIGHT_M_PER_S
+from .network import LeoNetwork
+
+__all__ = ["snapshot_times", "PairTimeline", "DynamicState",
+           "satellites_of_path", "count_path_changes"]
+
+
+def snapshot_times(duration_s: float, step_s: float) -> np.ndarray:
+    """The forwarding-state update instants: 0, step, 2*step, ... < duration.
+
+    Args:
+        duration_s: Simulation duration.
+        step_s: Time-step granularity (paper default 0.1 s).
+    """
+    if duration_s <= 0.0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    if step_s <= 0.0:
+        raise ValueError(f"step must be positive, got {step_s}")
+    count = int(np.ceil(duration_s / step_s))
+    return np.arange(count) * step_s
+
+
+def satellites_of_path(path: Optional[Sequence[int]],
+                       num_satellites: int) -> frozenset:
+    """The set of satellite ids composing a path (endpoints excluded).
+
+    Paper §5.2 counts a "path change" whenever this set differs between two
+    successive time steps.
+    """
+    if path is None:
+        return frozenset()
+    return frozenset(node for node in path if node < num_satellites)
+
+
+@dataclass
+class PairTimeline:
+    """Per-snapshot path history of one GS pair.
+
+    Attributes:
+        src_gid: Source ground station id.
+        dst_gid: Destination ground station id.
+        times_s: (T,) snapshot times.
+        distances_m: (T,) shortest-path distance; inf while disconnected.
+        paths: T node-id tuples (None while disconnected).
+    """
+
+    src_gid: int
+    dst_gid: int
+    times_s: np.ndarray
+    distances_m: np.ndarray
+    paths: List[Optional[Tuple[int, ...]]] = field(default_factory=list)
+
+    @property
+    def rtts_s(self) -> np.ndarray:
+        """Propagation-only RTT series (seconds); inf while disconnected."""
+        return 2.0 * self.distances_m / SPEED_OF_LIGHT_M_PER_S
+
+    @property
+    def connected_mask(self) -> np.ndarray:
+        """(T,) bool: snapshots at which the pair had a path."""
+        return np.isfinite(self.distances_m)
+
+    def hop_counts(self) -> np.ndarray:
+        """(T,) number of hops (edges) per snapshot; -1 while disconnected."""
+        return np.array([
+            len(path) - 1 if path is not None else -1 for path in self.paths
+        ])
+
+    def satellite_sets(self, num_satellites: int) -> List[frozenset]:
+        """Per-snapshot satellite membership of the path."""
+        return [satellites_of_path(path, num_satellites)
+                for path in self.paths]
+
+
+def count_path_changes(satellite_sets: Sequence[frozenset]) -> int:
+    """Number of snapshot-to-snapshot changes in path satellite membership.
+
+    Transitions into or out of disconnection (empty set) count as changes,
+    except that the initial state establishes the baseline without counting.
+    """
+    changes = 0
+    for previous, current in zip(satellite_sets, satellite_sets[1:]):
+        if current != previous:
+            changes += 1
+    return changes
+
+
+class DynamicState:
+    """Walks a network's snapshots and records tracked-pair timelines.
+
+    Args:
+        network: The LEO network.
+        pairs: (src_gid, dst_gid) pairs to track.
+        duration_s: How long to simulate.
+        step_s: Forwarding-state recomputation interval.
+
+    Example:
+        >>> state = DynamicState(network, [(0, 5)], duration_s=10.0,
+        ...                      step_s=1.0)
+        >>> timelines = state.compute()
+        >>> timelines[(0, 5)].rtts_s.shape
+        (10,)
+    """
+
+    def __init__(self, network: LeoNetwork,
+                 pairs: Sequence[Tuple[int, int]],
+                 duration_s: float, step_s: float = 0.1) -> None:
+        if not pairs:
+            raise ValueError("need at least one pair to track")
+        for src, dst in pairs:
+            if src == dst:
+                raise ValueError(f"pair ({src}, {dst}) has equal endpoints")
+        self.network = network
+        self.pairs = [(int(s), int(d)) for s, d in pairs]
+        self.times_s = snapshot_times(duration_s, step_s)
+        self.step_s = step_s
+        # Imported here: repro.routing depends on repro.topology for its
+        # type signatures, so a module-level import would be circular.
+        from ..routing.engine import RoutingEngine
+        self.engine = RoutingEngine(network)
+
+    def compute(self) -> Dict[Tuple[int, int], PairTimeline]:
+        """Run the schedule and return one timeline per tracked pair.
+
+        Destination trees are shared across pairs with the same
+        destination, so tracking a full permutation traffic matrix costs
+        one Dijkstra per distinct destination per snapshot.
+        """
+        timelines = {
+            pair: PairTimeline(
+                src_gid=pair[0], dst_gid=pair[1],
+                times_s=self.times_s,
+                distances_m=np.full(len(self.times_s), np.inf),
+            )
+            for pair in self.pairs
+        }
+        destinations = sorted({dst for _, dst in self.pairs})
+        for t_index, time_s in enumerate(self.times_s):
+            snapshot = self.network.snapshot(float(time_s))
+            for dst_gid in destinations:
+                routing = self.engine.route_to(snapshot, dst_gid)
+                for pair in self.pairs:
+                    if pair[1] != dst_gid:
+                        continue
+                    src_gid = pair[0]
+                    path = self.engine.path_via(routing, snapshot, src_gid)
+                    timeline = timelines[pair]
+                    if path is None:
+                        timeline.paths.append(None)
+                        continue
+                    _, distance = routing.source_ingress(
+                        snapshot.gsl_edges[src_gid])
+                    timeline.distances_m[t_index] = distance
+                    timeline.paths.append(tuple(path))
+        return timelines

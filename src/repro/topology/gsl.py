@@ -1,0 +1,123 @@
+"""Ground-satellite link (GSL) connectivity policies.
+
+Paper §3.1 offers two GS configurations: a GS may (a) connect to every
+satellite above its minimum elevation angle, or (b) connect only to its
+nearest visible satellite (the single-phased-array user-terminal model).
+The policy decides which GSL edges exist in a topology snapshot; link
+lengths are slant ranges.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..ground.stations import GroundStation
+from ..ground.visibility import elevation_angles_deg
+
+__all__ = ["GslPolicy", "GslEdges", "compute_gsl_edges"]
+
+
+class GslPolicy(enum.Enum):
+    """How a ground station selects satellites to link with."""
+
+    #: Connect to every satellite above the minimum elevation (default for
+    #: gateway-class GSes with multiple parabolic antennas).
+    ALL_VISIBLE = "all_visible"
+
+    #: Connect only to the nearest visible satellite (single phased-array
+    #: user-terminal model).
+    NEAREST_ONLY = "nearest_only"
+
+
+@dataclass(frozen=True)
+class GslEdges:
+    """GSL candidates of one ground station at one instant.
+
+    Attributes:
+        gid: Ground station id.
+        satellite_ids: (K,) ids of linkable satellites.
+        lengths_m: (K,) slant ranges to those satellites, same order.
+    """
+
+    gid: int
+    satellite_ids: np.ndarray
+    lengths_m: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.satellite_ids) != len(self.lengths_m):
+            raise ValueError("satellite_ids and lengths_m length mismatch")
+
+    @property
+    def is_connected(self) -> bool:
+        """Whether the GS can reach any satellite at all right now.
+
+        St. Petersburg's intermittent loss of Kuiper connectivity (paper
+        Fig. 3(a)/Fig. 12) shows up as this being False.
+        """
+        return len(self.satellite_ids) > 0
+
+    def nearest_satellite(self) -> int:
+        """Id of the closest linkable satellite.
+
+        Raises:
+            ValueError: If no satellite is visible.
+        """
+        if not self.is_connected:
+            raise ValueError(f"ground station {self.gid} sees no satellite")
+        return int(self.satellite_ids[int(np.argmin(self.lengths_m))])
+
+
+def compute_gsl_edges(stations: Sequence[GroundStation],
+                      satellite_positions_ecef_m: np.ndarray,
+                      min_elevation_deg,
+                      policy: GslPolicy = GslPolicy.ALL_VISIBLE,
+                      excluded_satellites: Optional[Set[int]] = None,
+                      ) -> Dict[int, GslEdges]:
+    """GSL candidate edges for every ground station at one instant.
+
+    Args:
+        stations: The ground stations.
+        satellite_positions_ecef_m: (N, 3) ECEF satellite positions.
+        min_elevation_deg: Minimum elevation angle ``l`` — a single float,
+            or a mapping gid -> float for per-station values (e.g. a
+            weather model's effective elevations).
+        policy: Satellite selection policy.
+        excluded_satellites: Satellites no GS may link to (failed ones).
+
+    Returns:
+        Mapping gid -> :class:`GslEdges`.  Stations that see no satellite
+        get an empty edge set (they are disconnected at this instant).
+    """
+    positions = np.asarray(satellite_positions_ecef_m)
+    edges: Dict[int, GslEdges] = {}
+    for station in stations:
+        if isinstance(min_elevation_deg, (int, float)):
+            station_elevation = float(min_elevation_deg)
+        else:
+            station_elevation = float(min_elevation_deg[station.gid])
+        elevations = elevation_angles_deg(station, positions)
+        visible = np.nonzero(elevations >= station_elevation)[0]
+        if excluded_satellites:
+            visible = np.array(
+                [sat for sat in visible if sat not in excluded_satellites],
+                dtype=np.int64)
+        if len(visible) == 0:
+            edges[station.gid] = GslEdges(
+                gid=station.gid,
+                satellite_ids=np.empty(0, dtype=np.int64),
+                lengths_m=np.empty(0))
+            continue
+        lengths = np.linalg.norm(positions[visible] - station.ecef_m, axis=1)
+        if policy is GslPolicy.NEAREST_ONLY:
+            best = int(np.argmin(lengths))
+            visible = visible[best:best + 1]
+            lengths = lengths[best:best + 1]
+        edges[station.gid] = GslEdges(
+            gid=station.gid,
+            satellite_ids=visible.astype(np.int64),
+            lengths_m=lengths)
+    return edges

@@ -1,0 +1,225 @@
+"""The time-varying LEO network model and its instantaneous snapshots.
+
+A :class:`LeoNetwork` bundles a constellation, a set of ground stations, an
+ISL interconnect, and GSL connectivity parameters.  Calling
+:meth:`LeoNetwork.snapshot` materializes the network at one instant: all
+satellite positions, every ISL with its current length, and every
+admissible GSL with its slant range.
+
+Node numbering convention used by every downstream component (routing,
+packet simulation, visualization):
+
+* satellites occupy ids ``0 .. num_satellites-1`` (the constellation's
+  global satellite ids);
+* ground stations occupy ids ``num_satellites + gid``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..constellations.builder import Constellation
+from ..geo.constants import SPEED_OF_LIGHT_M_PER_S
+from ..ground.stations import GroundStation
+from .gsl import GslEdges, GslPolicy, compute_gsl_edges
+from .isl import isl_lengths_m, plus_grid_isls, validate_isl_pairs
+
+if TYPE_CHECKING:
+    from ..ground.weather import WeatherModel
+
+__all__ = ["LeoNetwork", "TopologySnapshot"]
+
+
+@dataclass(frozen=True)
+class TopologySnapshot:
+    """The network frozen at one instant.
+
+    Attributes:
+        time_s: Snapshot time (seconds past the epoch).
+        satellite_positions_m: (N, 3) ECEF satellite positions.
+        isl_pairs: (L, 2) satellite-id pairs of the static ISL interconnect.
+        isl_lengths_m: (L,) current ISL lengths.
+        gsl_edges: gid -> admissible GSLs right now.
+        num_satellites: Satellite count N (GS node ids start here).
+        num_ground_stations: Ground station count G.
+        relay_gids: gids of relay ground stations (may forward traffic).
+    """
+
+    time_s: float
+    satellite_positions_m: np.ndarray
+    isl_pairs: np.ndarray
+    isl_lengths_m: np.ndarray
+    gsl_edges: Dict[int, GslEdges]
+    num_satellites: int
+    num_ground_stations: int
+    relay_gids: frozenset = frozenset()
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count (satellites + ground stations)."""
+        return self.num_satellites + self.num_ground_stations
+
+    def gs_node_id(self, gid: int) -> int:
+        """Graph node id of ground station ``gid``."""
+        if not 0 <= gid < self.num_ground_stations:
+            raise ValueError(f"gid {gid} out of range "
+                             f"[0, {self.num_ground_stations})")
+        return self.num_satellites + gid
+
+    def is_ground_node(self, node_id: int) -> bool:
+        """Whether a node id denotes a ground station."""
+        return node_id >= self.num_satellites
+
+    def to_networkx(self, weight: str = "distance_m") -> nx.Graph:
+        """The snapshot as a weighted undirected networkx graph.
+
+        Edge attributes: ``distance_m`` and ``delay_s`` (propagation).
+        Satellite nodes get ``kind="satellite"``; GS nodes ``kind="gs"``.
+        This is the representation the paper's own analysis pipeline uses
+        (paper §3.1: "we use a networkx module to generate the network
+        graph").
+        """
+        _ = weight  # both weights are always attached
+        graph = nx.Graph()
+        for sat_id in range(self.num_satellites):
+            graph.add_node(sat_id, kind="satellite")
+        for gid in range(self.num_ground_stations):
+            graph.add_node(self.gs_node_id(gid), kind="gs", gid=gid,
+                           is_relay=gid in self.relay_gids)
+        for (a, b), length in zip(self.isl_pairs, self.isl_lengths_m):
+            graph.add_edge(int(a), int(b), distance_m=float(length),
+                           delay_s=float(length) / SPEED_OF_LIGHT_M_PER_S,
+                           kind="isl")
+        for gid, edges in self.gsl_edges.items():
+            gs_node = self.gs_node_id(gid)
+            for sat_id, length in zip(edges.satellite_ids, edges.lengths_m):
+                graph.add_edge(gs_node, int(sat_id),
+                               distance_m=float(length),
+                               delay_s=float(length) / SPEED_OF_LIGHT_M_PER_S,
+                               kind="gsl")
+        return graph
+
+
+class LeoNetwork:
+    """A LEO constellation network whose topology evolves with time.
+
+    Args:
+        constellation: The satellites.
+        ground_stations: The ground segment; gids must be 0..G-1 and match
+            each station's position in the sequence.
+        min_elevation_deg: Minimum GS elevation angle ``l``.
+        isl_builder: Callable building the static ISL pair array from the
+            constellation; defaults to +Grid.  Pass
+            :func:`repro.topology.isl.no_isls` for bent-pipe experiments.
+        gsl_policy: Satellite-selection policy for ground stations.
+
+    Example:
+        >>> from repro.constellations import Constellation, KUIPER_K1
+        >>> from repro.ground import ground_stations_from_cities
+        >>> network = LeoNetwork(Constellation([KUIPER_K1]),
+        ...                      ground_stations_from_cities(count=10),
+        ...                      min_elevation_deg=30.0)
+        >>> snap = network.snapshot(0.0)
+        >>> snap.num_nodes
+        1166
+    """
+
+    def __init__(self, constellation: Constellation,
+                 ground_stations: Sequence[GroundStation],
+                 min_elevation_deg: float,
+                 isl_builder: Callable[[Constellation], np.ndarray]
+                 = plus_grid_isls,
+                 gsl_policy: GslPolicy = GslPolicy.ALL_VISIBLE,
+                 weather: Optional["WeatherModel"] = None,
+                 failed_satellites: Sequence[int] = ()) -> None:
+        for i, station in enumerate(ground_stations):
+            if station.gid != i:
+                raise ValueError(
+                    f"ground station gids must be consecutive from 0; "
+                    f"position {i} has gid {station.gid}")
+        if not 0.0 <= min_elevation_deg <= 90.0:
+            raise ValueError(
+                f"min elevation must be in [0, 90], got {min_elevation_deg}")
+        self.constellation = constellation
+        self.ground_stations: List[GroundStation] = list(ground_stations)
+        self.min_elevation_deg = min_elevation_deg
+        self.gsl_policy = gsl_policy
+        self.weather = weather
+        self.failed_satellites = frozenset(int(s) for s in failed_satellites)
+        for sat in self.failed_satellites:
+            if not 0 <= sat < constellation.num_satellites:
+                raise ValueError(f"failed satellite {sat} out of range")
+        self.isl_pairs = np.asarray(isl_builder(constellation))
+        validate_isl_pairs(self.isl_pairs, constellation.num_satellites)
+        if self.failed_satellites and len(self.isl_pairs):
+            alive = np.array([
+                a not in self.failed_satellites
+                and b not in self.failed_satellites
+                for a, b in self.isl_pairs
+            ])
+            self.isl_pairs = self.isl_pairs[alive]
+
+    @property
+    def num_satellites(self) -> int:
+        return self.constellation.num_satellites
+
+    @property
+    def num_ground_stations(self) -> int:
+        return len(self.ground_stations)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_satellites + self.num_ground_stations
+
+    def gs_node_id(self, gid: int) -> int:
+        """Graph node id of ground station ``gid``."""
+        if not 0 <= gid < self.num_ground_stations:
+            raise ValueError(f"gid {gid} out of range")
+        return self.num_satellites + gid
+
+    def station_by_name(self, name: str) -> GroundStation:
+        """Find a ground station by name.
+
+        Raises:
+            KeyError: If no station has that name.
+        """
+        for station in self.ground_stations:
+            if station.name == name:
+                return station
+        raise KeyError(f"no ground station named {name!r}")
+
+    def snapshot(self, time_s: float) -> TopologySnapshot:
+        """Materialize the topology at ``time_s``.
+
+        A configured weather model raises each station's effective minimum
+        elevation while rain is active over it; failed satellites carry no
+        GSLs (their ISLs were already dropped at construction).
+        """
+        positions = self.constellation.positions_ecef_m(time_s)
+        if self.weather is not None:
+            elevation = {
+                station.gid: self.weather.min_elevation_deg(
+                    station.gid, self.min_elevation_deg, time_s)
+                for station in self.ground_stations
+            }
+        else:
+            elevation = self.min_elevation_deg
+        return TopologySnapshot(
+            time_s=time_s,
+            satellite_positions_m=positions,
+            isl_pairs=self.isl_pairs,
+            isl_lengths_m=isl_lengths_m(self.isl_pairs, positions),
+            gsl_edges=compute_gsl_edges(
+                self.ground_stations, positions,
+                elevation, self.gsl_policy,
+                excluded_satellites=self.failed_satellites or None),
+            num_satellites=self.num_satellites,
+            num_ground_stations=self.num_ground_stations,
+            relay_gids=frozenset(
+                station.gid for station in self.ground_stations
+                if station.is_relay),
+        )

@@ -1,0 +1,19 @@
+"""Transport protocols and applications: ping, UDP, TCP NewReno, TCP Vegas."""
+
+from .base import Application, TimeSeriesLog, allocate_flow_id
+from .bbr import TcpBbrFlow
+from .ping import PingSession
+from .tcp import TcpNewRenoFlow
+from .udp import UdpFlow
+from .vegas import TcpVegasFlow
+
+__all__ = [
+    "Application",
+    "TimeSeriesLog",
+    "allocate_flow_id",
+    "PingSession",
+    "TcpBbrFlow",
+    "TcpNewRenoFlow",
+    "UdpFlow",
+    "TcpVegasFlow",
+]

@@ -1,0 +1,83 @@
+"""Application plumbing shared by all transports.
+
+An application attaches to ground station endpoints of a
+:class:`~repro.simulation.simulator.PacketSimulator` and exchanges packets
+under a flow id.  Flow ids are allocated globally so that several
+applications can coexist in one simulation (the constellation-wide
+experiments of paper §5.4 run one TCP flow per GS pair).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Tuple
+
+from ..simulation.simulator import PacketSimulator
+
+__all__ = ["Application", "allocate_flow_id", "TimeSeriesLog"]
+
+_flow_ids = itertools.count(1)
+
+
+def allocate_flow_id() -> int:
+    """A process-wide unique flow id."""
+    return next(_flow_ids)
+
+
+class TimeSeriesLog:
+    """An append-only (time, value) log with numpy export.
+
+    Used for congestion windows, RTT samples, and rate measurements.
+    """
+
+    def __init__(self) -> None:
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def append(self, time_s: float, value: float) -> None:
+        self._times.append(time_s)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times_s(self) -> List[float]:
+        return self._times
+
+    @property
+    def values(self) -> List[float]:
+        return self._values
+
+    def as_arrays(self) -> Tuple["np.ndarray", "np.ndarray"]:
+        """The log as ``(times, values)`` numpy arrays."""
+        import numpy as np
+        return np.asarray(self._times), np.asarray(self._values)
+
+
+class Application:
+    """Base class of simulated applications.
+
+    Subclasses implement :meth:`_start` (schedule their first action) and
+    register packet handlers during :meth:`install`.
+
+    Attributes:
+        sim: The simulator, set by :meth:`install`.
+        flow_id: This application's flow id.
+    """
+
+    def __init__(self, flow_id: Optional[int] = None) -> None:
+        self.flow_id = flow_id if flow_id is not None else allocate_flow_id()
+        self.sim: Optional[PacketSimulator] = None
+
+    def install(self, sim: PacketSimulator) -> "Application":
+        """Attach to a simulator; returns self for chaining."""
+        if self.sim is not None:
+            raise RuntimeError("application is already installed")
+        self.sim = sim
+        self._install(sim)
+        return self
+
+    def _install(self, sim: PacketSimulator) -> None:
+        """Register handlers and schedule the start; subclass hook."""
+        raise NotImplementedError

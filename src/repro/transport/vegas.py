@@ -1,0 +1,97 @@
+"""TCP Vegas: delay-based congestion control.
+
+Paper §4.2 / Fig. 5: Vegas keeps queues nearly empty, but on LEO paths it
+misreads path-change-induced RTT increases as congestion, drastically cuts
+its window, and its throughput collapses.  That failure mode needs no
+special-casing here — it falls out of the standard Vegas rules:
+
+* ``BaseRTT`` is the minimum RTT ever observed on the connection;
+* once per RTT, Vegas estimates the backlog it keeps in queues as
+  ``diff = cwnd * (RTT - BaseRTT) / RTT`` (in packets);
+* it nudges cwnd to keep ``alpha <= diff <= beta``.
+
+When satellite motion lengthens the path, ``RTT - BaseRTT`` grows with no
+queueing whatsoever, ``diff`` exceeds ``beta``, and Vegas walks its window
+down toward the floor — exactly the collapse of Fig. 5(b)/(c).
+
+Loss handling (fast retransmit / RTO) is inherited from NewReno, matching
+how Vegas implementations layer over a Reno base.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .tcp import TcpNewRenoFlow
+
+__all__ = ["TcpVegasFlow"]
+
+
+class TcpVegasFlow(TcpNewRenoFlow):
+    """A TCP Vegas flow (Brakmo-Peterson parameters by default).
+
+    Args:
+        alpha: Lower backlog target (packets).
+        beta: Upper backlog target (packets).
+        gamma: Slow-start exit threshold (packets).
+        (remaining args as in :class:`TcpNewRenoFlow`)
+    """
+
+    MIN_CWND = 2.0
+
+    def __init__(self, *args, alpha: float = 2.0, beta: float = 4.0,
+                 gamma: float = 1.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if not 0.0 <= alpha <= beta:
+            raise ValueError(f"need 0 <= alpha <= beta, got {alpha}, {beta}")
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        self.base_rtt_s = math.inf
+        self._window_min_rtt_s = math.inf
+        self._next_adjust_s: Optional[float] = None
+        self._in_vegas_slow_start = True
+        self._grow_this_rtt = True  # Vegas doubles every *other* RTT
+
+    def _on_rtt_sample(self, rtt_s: float) -> None:
+        assert self.sim is not None
+        self.base_rtt_s = min(self.base_rtt_s, rtt_s)
+        self._window_min_rtt_s = min(self._window_min_rtt_s, rtt_s)
+        now = self.sim.now
+        if self._next_adjust_s is None:
+            self._next_adjust_s = now + rtt_s
+            return
+        if now >= self._next_adjust_s:
+            self._per_rtt_adjust(self._window_min_rtt_s)
+            self._window_min_rtt_s = math.inf
+            self._next_adjust_s = now + rtt_s
+
+    def _per_rtt_adjust(self, rtt_s: float) -> None:
+        if not math.isfinite(rtt_s) or rtt_s <= 0.0:
+            return
+        # Estimated packets this flow keeps queued in the network.
+        diff = self.cwnd * (rtt_s - self.base_rtt_s) / rtt_s
+        if self._in_vegas_slow_start:
+            if diff > self.gamma:
+                self._in_vegas_slow_start = False
+                self.ssthresh = min(self.ssthresh, self.cwnd)
+            else:
+                self._grow_this_rtt = not self._grow_this_rtt
+            return
+        if diff < self.alpha:
+            self.cwnd += 1.0
+        elif diff > self.beta:
+            self.cwnd = max(self.cwnd - 1.0, self.MIN_CWND)
+
+    def _increase_on_ack(self, newly_acked: int) -> None:
+        if self._in_vegas_slow_start:
+            if self._grow_this_rtt:
+                self.cwnd += newly_acked
+            return
+        # Congestion avoidance growth is handled per RTT in
+        # _per_rtt_adjust; per-ACK growth stays flat.
+
+    def _enter_fast_recovery(self) -> None:
+        super()._enter_fast_recovery()
+        self._in_vegas_slow_start = False

@@ -1,0 +1,31 @@
+"""Visualization exporters: CZML trajectories, sky views, paths, hotspots."""
+
+from .czml import (
+    constellation_czml,
+    constellation_summary,
+    trajectory_samples,
+    write_czml,
+)
+from .ground_view import SkySnapshot, reachability_timeline, sky_snapshot
+from .paths_viz import PathEpisode, episode_geography, path_episodes
+from .utilization_map import (
+    UtilizationSegment,
+    hotspot_summary,
+    utilization_map,
+)
+
+__all__ = [
+    "constellation_czml",
+    "constellation_summary",
+    "trajectory_samples",
+    "write_czml",
+    "SkySnapshot",
+    "reachability_timeline",
+    "sky_snapshot",
+    "PathEpisode",
+    "episode_geography",
+    "path_episodes",
+    "UtilizationSegment",
+    "hotspot_summary",
+    "utilization_map",
+]

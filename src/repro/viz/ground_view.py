@@ -1,0 +1,107 @@
+"""Ground observer's sky view (paper §6, Fig. 12).
+
+For a given GS location and constellation: which satellites are where in
+the sky (azimuth along the horizon, elevation above it), which of them are
+above the minimum elevation angle, and how that evolves — including the
+reachability gaps that explain St. Petersburg's intermittent Kuiper
+connectivity (Fig. 3(a)'s shaded disruption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ..constellations.builder import Constellation
+from ..ground.stations import GroundStation
+from ..ground.visibility import azimuth_elevation_deg
+
+__all__ = ["SkySnapshot", "sky_snapshot", "reachability_timeline"]
+
+
+@dataclass(frozen=True)
+class SkySnapshot:
+    """Sky state above one GS at one instant.
+
+    Attributes:
+        time_s: Snapshot time.
+        azimuths_deg: (K,) azimuth of each above-horizon satellite
+            (0 = North, 90 = East).
+        elevations_deg: (K,) elevation of each above-horizon satellite.
+        satellite_ids: (K,) their ids.
+        connectable: (K,) bool, elevation >= the minimum angle.
+    """
+
+    time_s: float
+    azimuths_deg: np.ndarray
+    elevations_deg: np.ndarray
+    satellite_ids: np.ndarray
+    connectable: np.ndarray
+
+    @property
+    def num_above_horizon(self) -> int:
+        return len(self.satellite_ids)
+
+    @property
+    def num_connectable(self) -> int:
+        return int(self.connectable.sum())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form for external plotting."""
+        return {
+            "time_s": self.time_s,
+            "satellites": [
+                {
+                    "id": int(sid),
+                    "azimuth_deg": float(az),
+                    "elevation_deg": float(el),
+                    "connectable": bool(ok),
+                }
+                for sid, az, el, ok in zip(
+                    self.satellite_ids, self.azimuths_deg,
+                    self.elevations_deg, self.connectable)
+            ],
+        }
+
+
+def sky_snapshot(constellation: Constellation, station: GroundStation,
+                 min_elevation_deg: float, time_s: float) -> SkySnapshot:
+    """The Fig. 12 view: all above-horizon satellites from one GS."""
+    positions = constellation.positions_ecef_m(time_s)
+    azimuths, elevations = azimuth_elevation_deg(station, positions)
+    above = np.nonzero(elevations > 0.0)[0]
+    return SkySnapshot(
+        time_s=time_s,
+        azimuths_deg=azimuths[above],
+        elevations_deg=elevations[above],
+        satellite_ids=above.astype(np.int64),
+        connectable=elevations[above] >= min_elevation_deg,
+    )
+
+
+def reachability_timeline(constellation: Constellation,
+                          station: GroundStation,
+                          min_elevation_deg: float,
+                          duration_s: float,
+                          step_s: float = 1.0) -> Dict[str, np.ndarray]:
+    """How many satellites a GS can connect to over time.
+
+    Returns:
+        Dict with ``times_s``, ``num_connectable`` and ``num_above_horizon``
+        arrays.  Zero-connectable stretches are the outage windows of
+        Fig. 12(b).
+    """
+    if duration_s <= 0.0 or step_s <= 0.0:
+        raise ValueError("duration and step must be positive")
+    times = np.arange(0.0, duration_s, step_s)
+    connectable = np.zeros(len(times), dtype=np.int64)
+    above = np.zeros(len(times), dtype=np.int64)
+    for i, time_s in enumerate(times):
+        snapshot = sky_snapshot(constellation, station, min_elevation_deg,
+                                float(time_s))
+        connectable[i] = snapshot.num_connectable
+        above[i] = snapshot.num_above_horizon
+    return {"times_s": times, "num_connectable": connectable,
+            "num_above_horizon": above}

@@ -1,0 +1,118 @@
+"""End-end path evolution export (paper §6, Fig. 13).
+
+Turns a pair's path timeline into render-ready geography: for each distinct
+path the pair used, the geodetic coordinates of every node on it, the RTT
+it offered, and when it was active.  The paper's Paris-Luanda example shows
+why this view matters: the 117 ms and 85 ms paths differ by how many
+zig-zag hops they need to exit the chosen orbit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..constellations.builder import Constellation
+from ..geo.constants import SPEED_OF_LIGHT_M_PER_S
+from ..geo.coordinates import ecef_to_geodetic
+from ..topology.dynamic_state import PairTimeline
+from ..topology.network import LeoNetwork
+
+__all__ = ["PathEpisode", "path_episodes", "episode_geography"]
+
+
+@dataclass(frozen=True)
+class PathEpisode:
+    """One contiguous stretch during which a pair used one path.
+
+    Attributes:
+        start_s / end_s: Active interval (end exclusive).
+        path: Node-id tuple, or None for a disconnection episode.
+        min_rtt_s / max_rtt_s: RTT range while this path was active.
+    """
+
+    start_s: float
+    end_s: float
+    path: Optional[Tuple[int, ...]]
+    min_rtt_s: float
+    max_rtt_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def hops(self) -> Optional[int]:
+        return None if self.path is None else len(self.path) - 1
+
+
+def path_episodes(timeline: PairTimeline) -> List[PathEpisode]:
+    """Collapse a pair timeline into its distinct path episodes."""
+    episodes: List[PathEpisode] = []
+    times = timeline.times_s
+    rtts = timeline.rtts_s
+    if len(times) == 0:
+        return episodes
+    step = float(times[1] - times[0]) if len(times) > 1 else 0.0
+
+    start = 0
+    for i in range(1, len(times) + 1):
+        is_boundary = (i == len(times)
+                       or timeline.paths[i] != timeline.paths[start])
+        if not is_boundary:
+            continue
+        window = rtts[start:i]
+        finite = window[np.isfinite(window)]
+        episodes.append(PathEpisode(
+            start_s=float(times[start]),
+            end_s=float(times[i - 1]) + step,
+            path=timeline.paths[start],
+            min_rtt_s=float(finite.min()) if finite.size else float("inf"),
+            max_rtt_s=float(finite.max()) if finite.size else float("inf"),
+        ))
+        start = i
+    return episodes
+
+
+def episode_geography(episode: PathEpisode, network: LeoNetwork
+                      ) -> Dict[str, Any]:
+    """Geodetic waypoints of an episode's path at its midpoint time.
+
+    Returns:
+        JSON-friendly dict with per-node latitude/longitude/kind plus the
+        episode's timing and RTT range.  Disconnection episodes yield an
+        empty waypoint list.
+    """
+    waypoints: List[Dict[str, Any]] = []
+    if episode.path is not None:
+        mid_time = (episode.start_s + episode.end_s) / 2.0
+        positions = network.constellation.positions_ecef_m(mid_time)
+        for node in episode.path:
+            if node < network.num_satellites:
+                geo = ecef_to_geodetic(positions[node])
+                waypoints.append({
+                    "node": int(node),
+                    "kind": "satellite",
+                    "latitude_deg": geo.latitude_deg,
+                    "longitude_deg": geo.longitude_deg,
+                })
+            else:
+                station = network.ground_stations[
+                    node - network.num_satellites]
+                waypoints.append({
+                    "node": int(node),
+                    "kind": "relay" if station.is_relay else "gs",
+                    "name": station.name,
+                    "latitude_deg": station.latitude_deg,
+                    "longitude_deg": station.longitude_deg,
+                })
+    return {
+        "start_s": episode.start_s,
+        "end_s": episode.end_s,
+        "hops": episode.hops,
+        "min_rtt_ms": episode.min_rtt_s * 1000.0,
+        "max_rtt_ms": episode.max_rtt_s * 1000.0,
+        "waypoints": waypoints,
+    }

@@ -1,0 +1,67 @@
+"""Shared fixtures: small synthetic constellations for fast tests.
+
+Full paper shells (1000+ satellites) are reserved for a few
+session-scoped fixtures; most tests run on an 8x8 shell that preserves the
++Grid structure at 1/18th the size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constellations.builder import Constellation
+from repro.constellations.definitions import KUIPER_K1
+from repro.geo.coordinates import GeodeticPosition
+from repro.ground.stations import GroundStation, ground_stations_from_cities
+from repro.orbits.shell import Shell
+from repro.topology.network import LeoNetwork
+
+
+@pytest.fixture
+def small_shell() -> Shell:
+    """A 10x10 circular shell at 600 km / 53 deg."""
+    return Shell(name="X1", num_orbits=10, satellites_per_orbit=10,
+                 altitude_m=600_000.0, inclination_deg=53.0)
+
+
+@pytest.fixture
+def small_constellation(small_shell: Shell) -> Constellation:
+    return Constellation([small_shell])
+
+
+@pytest.fixture
+def small_stations() -> list:
+    """Six well-spread ground stations (gids 0..5)."""
+    sites = [
+        ("Quito", 0.0, -78.5),
+        ("Nairobi", -1.3, 36.8),
+        ("Singapore", 1.35, 103.8),
+        ("Honolulu", 21.3, -157.9),
+        ("Sydney", -33.9, 151.2),
+        ("Madrid", 40.4, -3.7),
+    ]
+    return [
+        GroundStation(gid=i, name=name,
+                      position=GeodeticPosition(lat, lon, 0.0))
+        for i, (name, lat, lon) in enumerate(sites)
+    ]
+
+
+@pytest.fixture
+def small_network(small_constellation: Constellation,
+                  small_stations: list) -> LeoNetwork:
+    """A 100-satellite +Grid network with 6 ground stations.
+
+    The low minimum elevation (10 deg) keeps all stations connected
+    despite the sparse test shell.
+    """
+    return LeoNetwork(small_constellation, small_stations,
+                      min_elevation_deg=10.0)
+
+
+@pytest.fixture(scope="session")
+def kuiper_network() -> LeoNetwork:
+    """The paper's Kuiper K1 + 100 cities network (session-scoped)."""
+    return LeoNetwork(Constellation([KUIPER_K1]),
+                      ground_stations_from_cities(count=100),
+                      min_elevation_deg=30.0)

@@ -1,0 +1,201 @@
+"""Tests for the fluid engines: max-min allocation, AIMD dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.fluid.aimd import AimdFluidSimulation
+from repro.fluid.engine import FluidFlow, FluidSimulation, path_devices
+from repro.fluid.maxmin import max_min_fair_allocation
+
+
+class TestMaxMin:
+    def test_single_flow_takes_link(self):
+        rates = max_min_fair_allocation({"l": 10.0}, [["l"]])
+        np.testing.assert_allclose(rates, [10.0])
+
+    def test_equal_split(self):
+        rates = max_min_fair_allocation({"l": 9.0}, [["l"], ["l"], ["l"]])
+        np.testing.assert_allclose(rates, [3.0, 3.0, 3.0])
+
+    def test_classic_three_link_example(self):
+        # Flow A uses l1+l2, flow B uses l1, flow C uses l2.
+        # l1 = 10, l2 = 4: A and C split l2 at 2 each; B then gets 8.
+        capacity = {"l1": 10.0, "l2": 4.0}
+        flows = [["l1", "l2"], ["l1"], ["l2"]]
+        rates = max_min_fair_allocation(capacity, flows)
+        np.testing.assert_allclose(rates, [2.0, 8.0, 2.0])
+
+    def test_demand_cap(self):
+        rates = max_min_fair_allocation({"l": 10.0}, [["l"], ["l"]],
+                                        demands=[1.0, 100.0])
+        np.testing.assert_allclose(rates, [1.0, 9.0])
+
+    def test_no_link_flow_needs_finite_demand(self):
+        with pytest.raises(ValueError):
+            max_min_fair_allocation({}, [[]])
+        rates = max_min_fair_allocation({}, [[]], demands=[5.0])
+        np.testing.assert_allclose(rates, [5.0])
+
+    def test_no_capacity_exceeded(self):
+        rng = np.random.default_rng(0)
+        links = {f"l{i}": float(rng.uniform(1, 10)) for i in range(8)}
+        flows = []
+        link_names = list(links)
+        for _ in range(20):
+            k = rng.integers(1, 4)
+            flows.append(list(rng.choice(link_names, size=k, replace=False)))
+        rates = max_min_fair_allocation(links, flows)
+        loads = {name: 0.0 for name in links}
+        for flow, rate in zip(flows, rates):
+            for link in flow:
+                loads[link] += rate
+        for name in links:
+            assert loads[name] <= links[name] * (1 + 1e-9)
+
+    def test_max_min_property(self):
+        """No flow can be raised without lowering a flow with an equal or
+        smaller rate: every flow has a saturated link where it has the
+        maximal rate."""
+        capacity = {"a": 6.0, "b": 9.0, "c": 4.0}
+        flows = [["a", "b"], ["b"], ["a", "c"], ["c"], ["b", "c"]]
+        rates = max_min_fair_allocation(capacity, flows)
+        loads = {name: 0.0 for name in capacity}
+        for flow, rate in zip(flows, rates):
+            for link in flow:
+                loads[link] += rate
+        for i, flow in enumerate(flows):
+            bottlenecks = [link for link in flow
+                           if loads[link] >= capacity[link] - 1e-9]
+            assert bottlenecks, f"flow {i} has no saturated link"
+            assert any(
+                rates[i] >= max(rates[j] for j in range(len(flows))
+                                if link in flows[j]) - 1e-9
+                for link in bottlenecks)
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(ValueError):
+            max_min_fair_allocation({"l": 1.0}, [["x"]])
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            max_min_fair_allocation({"l": -1.0}, [["l"]])
+
+    def test_empty_flows(self):
+        assert len(max_min_fair_allocation({"l": 1.0}, [])) == 0
+
+    def test_zero_capacity_link(self):
+        rates = max_min_fair_allocation({"l": 0.0}, [["l"]])
+        np.testing.assert_allclose(rates, [0.0])
+
+
+class TestPathDevices:
+    def test_isl_and_gsl_hops(self):
+        # src GS (100) -> sat 5 -> sat 6 -> dst GS (101), 100 satellites.
+        devices = path_devices([100, 5, 6, 101], num_satellites=100)
+        assert devices == [("gsl", 100), (5, 6), ("gsl", 6)]
+
+    def test_bent_pipe_path(self):
+        devices = path_devices([100, 5, 102, 7, 101], num_satellites=100)
+        assert devices == [("gsl", 100), ("gsl", 5), ("gsl", 102),
+                           ("gsl", 7)]
+
+
+class TestFluidSimulation:
+    def test_rates_respect_capacity(self, small_network):
+        flows = [FluidFlow(0, 3), FluidFlow(1, 4), FluidFlow(2, 5)]
+        sim = FluidSimulation(small_network, flows,
+                              link_capacity_bps=10e6)
+        result = sim.run(duration_s=4.0, step_s=2.0)
+        assert result.flow_rates_bps.shape == (2, 3)
+        assert (result.flow_rates_bps <= 10e6 + 1e-6).all()
+        for loads in result.device_load_bps:
+            for load in loads.values():
+                assert load <= 10e6 * (1 + 1e-9)
+
+    def test_elastic_flow_bottlenecked_somewhere(self, small_network):
+        flows = [FluidFlow(0, 3)]
+        sim = FluidSimulation(small_network, flows, link_capacity_bps=10e6)
+        result = sim.run(duration_s=2.0, step_s=1.0)
+        # A single elastic flow gets the full device capacity.
+        np.testing.assert_allclose(result.flow_rates_bps, 10e6, rtol=1e-6)
+        unused = result.unused_bandwidth_bps(0)
+        np.testing.assert_allclose(unused, 0.0, atol=1.0)
+
+    def test_frozen_topology_constant_paths(self, small_network):
+        flows = [FluidFlow(0, 3)]
+        sim = FluidSimulation(small_network, flows,
+                              freeze_topology_at_s=0.0)
+        result = sim.run(duration_s=3.0, step_s=1.0)
+        assert result.flow_paths[0][0] == result.flow_paths[2][0]
+
+    def test_isl_utilization_excludes_gsl(self, small_network):
+        flows = [FluidFlow(0, 3), FluidFlow(4, 1)]
+        result = FluidSimulation(small_network, flows).run(2.0, 1.0)
+        for key in result.isl_utilization(0):
+            assert key[0] != "gsl"
+
+    def test_validation(self, small_network):
+        with pytest.raises(ValueError):
+            FluidSimulation(small_network, [])
+        with pytest.raises(ValueError):
+            FluidSimulation(small_network, [FluidFlow(0, 1)],
+                            link_capacity_bps=0.0)
+        with pytest.raises(ValueError):
+            FluidFlow(2, 2)
+        with pytest.raises(ValueError):
+            FluidFlow(0, 1, demand_bps=0.0)
+
+
+class TestAimdFluid:
+    def test_rates_stay_positive_and_bounded(self, small_network):
+        flows = [FluidFlow(0, 3), FluidFlow(1, 4), FluidFlow(5, 2)]
+        sim = AimdFluidSimulation(small_network, flows,
+                                  link_capacity_bps=10e6)
+        result = sim.run(duration_s=20.0, step_s=1.0)
+        rates = result.flow_rates_bps
+        connected = rates > 0
+        assert (rates[connected] <= 10e6 + 1e-6).all()
+
+    def test_single_flow_converges_to_capacity(self, small_network):
+        sim = AimdFluidSimulation(small_network, [FluidFlow(0, 3)],
+                                  link_capacity_bps=10e6)
+        result = sim.run(duration_s=40.0, step_s=1.0)
+        # Alone on its path, AIMD should reach (and ride at) capacity.
+        assert result.flow_rates_bps[-5:, 0].max() > 0.9 * 10e6
+
+    def test_two_flows_share_roughly_fairly(self, small_network):
+        """Two flows with the same bottleneck converge to similar average
+        rates."""
+        flows = [FluidFlow(0, 3), FluidFlow(0, 3)]
+        sim = AimdFluidSimulation(small_network, flows,
+                                  link_capacity_bps=10e6)
+        result = sim.run(duration_s=60.0, step_s=1.0)
+        late = result.flow_rates_bps[30:]
+        means = late.mean(axis=0)
+        assert means.min() > 0.25 * means.max()
+
+    def test_demand_cap_respected(self, small_network):
+        sim = AimdFluidSimulation(
+            small_network, [FluidFlow(0, 3, demand_bps=1e6)],
+            link_capacity_bps=10e6)
+        result = sim.run(duration_s=20.0, step_s=1.0)
+        assert result.flow_rates_bps.max() <= 1e6 + 1e-6
+
+    def test_utilization_capped_at_capacity(self, small_network):
+        flows = [FluidFlow(0, 3), FluidFlow(1, 4)]
+        sim = AimdFluidSimulation(small_network, flows,
+                                  link_capacity_bps=10e6)
+        result = sim.run(duration_s=10.0, step_s=1.0)
+        for loads in result.device_load_bps:
+            for load in loads.values():
+                assert load <= 10e6 * (1 + 1e-9)
+
+    def test_validation(self, small_network):
+        with pytest.raises(ValueError):
+            AimdFluidSimulation(small_network, [])
+        with pytest.raises(ValueError):
+            AimdFluidSimulation(small_network, [FluidFlow(0, 1)],
+                                rtt_estimate_s=0.0)
+        with pytest.raises(ValueError):
+            AimdFluidSimulation(small_network, [FluidFlow(0, 1)],
+                                queue_packets=-1)

@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.rtt import ecdf
+from repro.fluid.maxmin import max_min_fair_allocation
+from repro.geo.coordinates import (
+    GeodeticPosition,
+    ecef_to_geodetic,
+    eci_to_ecef,
+    geodetic_to_ecef,
+)
+from repro.geo.distance import central_angle_rad, great_circle_distance_m
+from repro.orbits.kepler import (
+    KeplerianElements,
+    eccentric_to_mean_anomaly,
+    mean_to_eccentric_anomaly,
+    orbital_period_s,
+    semi_major_axis_from_period,
+    wrap_angle,
+)
+from repro.orbits.propagation import propagate_to_eci
+from repro.orbits.tle import generate_tle, parse_tle
+from repro.simulation.events import EventScheduler
+
+finite_angle = st.floats(min_value=-100.0, max_value=100.0,
+                         allow_nan=False, allow_infinity=False)
+latitude = st.floats(min_value=-89.9, max_value=89.9)
+longitude = st.floats(min_value=-179.9, max_value=179.9)
+altitude = st.floats(min_value=0.0, max_value=2_000_000.0)
+eccentricity = st.floats(min_value=0.0, max_value=0.9)
+
+
+class TestAngleProperties:
+    @given(finite_angle)
+    def test_wrap_angle_in_range(self, angle):
+        wrapped = wrap_angle(angle)
+        assert 0.0 <= wrapped < 2 * math.pi
+
+    @given(finite_angle)
+    def test_wrap_angle_idempotent(self, angle):
+        wrapped = wrap_angle(angle)
+        assert wrap_angle(wrapped) == pytest.approx(wrapped, abs=1e-12)
+
+    @given(finite_angle)
+    def test_wrap_preserves_angle_mod_two_pi(self, angle):
+        wrapped = wrap_angle(angle)
+        assert math.cos(wrapped) == pytest.approx(math.cos(angle), abs=1e-6)
+        assert math.sin(wrapped) == pytest.approx(math.sin(angle), abs=1e-6)
+
+
+class TestKeplerProperties:
+    @given(st.floats(min_value=0.0, max_value=2 * math.pi - 1e-9),
+           eccentricity)
+    def test_keplers_equation_round_trip(self, mean_anomaly, ecc):
+        big_e = mean_to_eccentric_anomaly(mean_anomaly, ecc)
+        back = eccentric_to_mean_anomaly(big_e, ecc)
+        assert back == pytest.approx(mean_anomaly, abs=1e-8)
+
+    @given(st.floats(min_value=6.6e6, max_value=5e7))
+    def test_period_axis_inverse(self, semi_major_axis):
+        period = orbital_period_s(semi_major_axis)
+        assert semi_major_axis_from_period(period) == pytest.approx(
+            semi_major_axis, rel=1e-10)
+
+    @given(altitude, st.floats(min_value=0.0, max_value=180.0),
+           st.floats(min_value=0.0, max_value=359.99),
+           st.floats(min_value=0.0, max_value=359.99))
+    @settings(max_examples=30)
+    def test_circular_orbit_radius_invariant(self, alt, incl, raan, anomaly):
+        assume(alt > 100_000.0)
+        el = KeplerianElements.circular(alt, incl, raan, anomaly)
+        for t in [0.0, 1000.0]:
+            state = propagate_to_eci(el, t)
+            assert state.radius_m == pytest.approx(el.semi_major_axis_m,
+                                                   rel=1e-9)
+
+
+class TestGeoProperties:
+    @given(latitude, longitude, altitude)
+    @settings(max_examples=50)
+    def test_geodetic_ecef_round_trip(self, lat, lon, alt):
+        original = GeodeticPosition(lat, lon, alt)
+        back = ecef_to_geodetic(geodetic_to_ecef(original))
+        assert back.latitude_deg == pytest.approx(lat, abs=1e-7)
+        assert back.longitude_deg == pytest.approx(lon, abs=1e-7)
+        assert back.altitude_m == pytest.approx(alt, abs=1e-2)
+
+    @given(latitude, longitude, latitude, longitude)
+    def test_great_circle_symmetry(self, lat1, lon1, lat2, lon2):
+        a = GeodeticPosition(lat1, lon1)
+        b = GeodeticPosition(lat2, lon2)
+        assert great_circle_distance_m(a, b) == pytest.approx(
+            great_circle_distance_m(b, a), rel=1e-12)
+
+    @given(latitude, longitude, latitude, longitude, latitude, longitude)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, lat1, lon1, lat2, lon2, lat3, lon3):
+        a = GeodeticPosition(lat1, lon1)
+        b = GeodeticPosition(lat2, lon2)
+        c = GeodeticPosition(lat3, lon3)
+        assert central_angle_rad(a, c) <= (
+            central_angle_rad(a, b) + central_angle_rad(b, c) + 1e-9)
+
+    @given(st.floats(min_value=-1e7, max_value=1e7),
+           st.floats(min_value=-1e7, max_value=1e7),
+           st.floats(min_value=-1e7, max_value=1e7),
+           st.floats(min_value=0.0, max_value=1e5))
+    def test_eci_to_ecef_preserves_norm(self, x, y, z, t):
+        position = np.array([x, y, z])
+        converted = eci_to_ecef(position, t)
+        assert np.linalg.norm(converted) == pytest.approx(
+            np.linalg.norm(position), rel=1e-12, abs=1e-9)
+
+
+class TestTleProperties:
+    @given(altitude, st.floats(min_value=0.0, max_value=179.99),
+           st.floats(min_value=0.0, max_value=359.99),
+           st.floats(min_value=0.0, max_value=359.99))
+    @settings(max_examples=40)
+    def test_tle_round_trip_any_circular_orbit(self, alt, incl, raan,
+                                               anomaly):
+        assume(alt > 150_000.0)
+        el = KeplerianElements.circular(alt, incl, raan, anomaly)
+        tle = generate_tle(el, "prop-test")
+        parsed, _, _ = parse_tle(*tle.as_lines())
+        assert parsed.semi_major_axis_m == pytest.approx(
+            el.semi_major_axis_m, rel=1e-6)
+        assert parsed.inclination_rad == pytest.approx(
+            el.inclination_rad, abs=2e-5)
+        assert parsed.raan_rad == pytest.approx(el.raan_rad, abs=2e-5)
+
+
+class TestMaxMinProperties:
+    @st.composite
+    def _scenario(draw):
+        num_links = draw(st.integers(min_value=1, max_value=6))
+        capacities = {
+            i: draw(st.floats(min_value=0.1, max_value=100.0))
+            for i in range(num_links)
+        }
+        num_flows = draw(st.integers(min_value=1, max_value=10))
+        flows = []
+        for _ in range(num_flows):
+            size = draw(st.integers(min_value=1, max_value=num_links))
+            flows.append(list(draw(st.permutations(range(num_links))))[:size])
+        return capacities, flows
+
+    @given(_scenario())
+    @settings(max_examples=60)
+    def test_feasible_and_nonnegative(self, scenario):
+        capacities, flows = scenario
+        rates = max_min_fair_allocation(capacities, flows)
+        assert (rates >= 0.0).all()
+        loads = {link: 0.0 for link in capacities}
+        for flow, rate in zip(flows, rates):
+            for link in flow:
+                loads[link] += rate
+        for link, load in loads.items():
+            assert load <= capacities[link] * (1 + 1e-6)
+
+    @given(_scenario())
+    @settings(max_examples=60)
+    def test_every_flow_has_a_saturated_link(self, scenario):
+        """Pareto optimality: each flow's rate is limited by some link
+        that is (numerically) fully used."""
+        capacities, flows = scenario
+        rates = max_min_fair_allocation(capacities, flows)
+        loads = {link: 0.0 for link in capacities}
+        for flow, rate in zip(flows, rates):
+            for link in flow:
+                loads[link] += rate
+        for flow in flows:
+            assert any(loads[link] >= capacities[link] * (1 - 1e-6)
+                       for link in flow)
+
+
+class TestEcdfProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=100))
+    def test_ecdf_monotone_and_normalized(self, values):
+        xs, ys = ecdf(values)
+        assert (np.diff(xs) >= 0).all()
+        assert (np.diff(ys) >= 0).all()
+        assert ys[-1] == pytest.approx(1.0)
+        assert ys[0] == pytest.approx(1.0 / len(values))
+
+
+class TestSchedulerProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=1, max_size=50))
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        sched = EventScheduler()
+        fired = []
+        for delay in delays:
+            sched.schedule(delay, lambda: fired.append(sched.now))
+        sched.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)

@@ -1,0 +1,209 @@
+"""Tests for the shortest-path routing engine."""
+
+import numpy as np
+import pytest
+
+from repro.routing.engine import UNREACHABLE, RoutingEngine
+from repro.topology.dynamic_state import (
+    DynamicState,
+    count_path_changes,
+    satellites_of_path,
+    snapshot_times,
+)
+from repro.topology.isl import no_isls
+from repro.topology.network import LeoNetwork
+
+
+@pytest.fixture
+def engine(small_network) -> RoutingEngine:
+    return RoutingEngine(small_network)
+
+
+class TestRouteTo:
+    def test_distances_positive_and_finite_for_satellites(
+            self, small_network, engine):
+        snap = small_network.snapshot(0.0)
+        routing = engine.route_to(snap, 0)
+        sat_distances = routing.distance_m[:small_network.num_satellites]
+        assert np.isfinite(sat_distances).all()
+        assert (sat_distances > 0).all()
+
+    def test_next_hops_walk_to_destination(self, small_network, engine):
+        snap = small_network.snapshot(0.0)
+        routing = engine.route_to(snap, 2)
+        dst_node = snap.gs_node_id(2)
+        for sat in range(0, small_network.num_satellites, 7):
+            current = sat
+            for _ in range(small_network.num_nodes):
+                nxt = routing.next_hop[current]
+                if nxt == dst_node:
+                    break
+                assert nxt != UNREACHABLE
+                current = int(nxt)
+            else:
+                pytest.fail(f"walk from satellite {sat} never reached dst")
+
+    def test_distance_decreases_along_next_hops(self, small_network, engine):
+        snap = small_network.snapshot(0.0)
+        routing = engine.route_to(snap, 1)
+        for sat in range(small_network.num_satellites):
+            nxt = int(routing.next_hop[sat])
+            if nxt == UNREACHABLE or nxt == routing.dst_node:
+                continue
+            assert routing.distance_m[nxt] < routing.distance_m[sat]
+
+    def test_other_gs_nodes_not_transit(self, small_network, engine):
+        """Paths never route through a third (non-relay) ground station."""
+        snap = small_network.snapshot(0.0)
+        for dst in range(6):
+            routing = engine.route_to(snap, dst)
+            for src in range(6):
+                if src == dst:
+                    continue
+                path = engine.path_via(routing, snap, src)
+                if path is None:
+                    continue
+                for node in path[1:-1]:
+                    assert node < small_network.num_satellites
+
+
+class TestPairQueries:
+    def test_path_endpoints(self, small_network, engine):
+        snap = small_network.snapshot(0.0)
+        path = engine.path(snap, 0, 3)
+        assert path is not None
+        assert path[0] == snap.gs_node_id(0)
+        assert path[-1] == snap.gs_node_id(3)
+
+    def test_path_edges_exist(self, small_network, engine):
+        """Every hop of a returned path is an actual edge of the graph."""
+        snap = small_network.snapshot(0.0)
+        graph = snap.to_networkx()
+        path = engine.path(snap, 1, 4)
+        assert path is not None
+        for a, b in zip(path, path[1:]):
+            assert graph.has_edge(a, b)
+
+    def test_distance_matches_path_length(self, small_network, engine):
+        snap = small_network.snapshot(0.0)
+        graph = snap.to_networkx()
+        path = engine.path(snap, 0, 5)
+        distance = engine.pair_distance_m(snap, 0, 5)
+        total = sum(graph[a][b]["distance_m"] for a, b in zip(path, path[1:]))
+        assert distance == pytest.approx(total, rel=1e-9)
+
+    def test_distance_matches_networkx_shortest_path(self, small_network,
+                                                     engine):
+        """Cross-validation against networkx Dijkstra on the same graph,
+        with other GS nodes removed (they cannot transit)."""
+        import networkx as nx
+        snap = small_network.snapshot(0.0)
+        for src, dst in [(0, 3), (1, 5), (2, 4)]:
+            graph = snap.to_networkx()
+            for gid in range(6):
+                if gid not in (src, dst):
+                    graph.remove_node(snap.gs_node_id(gid))
+            expected = nx.shortest_path_length(
+                graph, snap.gs_node_id(src), snap.gs_node_id(dst),
+                weight="distance_m")
+            actual = engine.pair_distance_m(snap, src, dst)
+            assert actual == pytest.approx(expected, rel=1e-9)
+
+    def test_rtt_is_distance_at_lightspeed(self, small_network, engine):
+        snap = small_network.snapshot(0.0)
+        d = engine.pair_distance_m(snap, 0, 3)
+        rtt = engine.pair_rtt_s(snap, 0, 3)
+        assert rtt == pytest.approx(2 * d / 299_792_458.0)
+
+    def test_all_pairs_matrix_symmetric(self, small_network, engine):
+        snap = small_network.snapshot(0.0)
+        matrix = engine.all_pairs_distance_m(snap)
+        assert matrix.shape == (6, 6)
+        np.testing.assert_allclose(matrix, matrix.T, rtol=1e-9)
+        assert (np.diag(matrix) == 0).all()
+
+    def test_disconnected_pair_is_inf(self, small_constellation,
+                                      small_stations):
+        # Without ISLs and without relays, distant GSes cannot reach
+        # each other through a single bent pipe.
+        network = LeoNetwork(small_constellation, small_stations,
+                             min_elevation_deg=15.0, isl_builder=no_isls)
+        engine = RoutingEngine(network)
+        snap = network.snapshot(0.0)
+        # Quito (0) and Singapore (2) are on opposite sides of the Earth:
+        # no single satellite can see both.
+        assert engine.pair_distance_m(snap, 0, 2) == np.inf
+        assert engine.path(snap, 0, 2) is None
+
+
+class TestDynamicState:
+    def test_snapshot_times(self):
+        times = snapshot_times(1.0, 0.25)
+        np.testing.assert_allclose(times, [0.0, 0.25, 0.5, 0.75])
+
+    def test_snapshot_times_validation(self):
+        with pytest.raises(ValueError):
+            snapshot_times(0.0, 0.1)
+        with pytest.raises(ValueError):
+            snapshot_times(1.0, 0.0)
+
+    def test_timeline_shapes(self, small_network):
+        state = DynamicState(small_network, [(0, 3), (1, 4)],
+                             duration_s=5.0, step_s=1.0)
+        timelines = state.compute()
+        assert set(timelines) == {(0, 3), (1, 4)}
+        tl = timelines[(0, 3)]
+        assert len(tl.times_s) == 5
+        assert len(tl.paths) == 5
+        assert tl.rtts_s.shape == (5,)
+
+    def test_rtts_match_engine(self, small_network, engine):
+        state = DynamicState(small_network, [(0, 3)], duration_s=3.0,
+                             step_s=1.0)
+        tl = state.compute()[(0, 3)]
+        for i, t in enumerate(tl.times_s):
+            expected = engine.pair_rtt_s(small_network.snapshot(float(t)),
+                                         0, 3)
+            assert tl.rtts_s[i] == pytest.approx(expected, rel=1e-9)
+
+    def test_equal_endpoints_rejected(self, small_network):
+        with pytest.raises(ValueError):
+            DynamicState(small_network, [(2, 2)], duration_s=1.0)
+
+    def test_empty_pairs_rejected(self, small_network):
+        with pytest.raises(ValueError):
+            DynamicState(small_network, [], duration_s=1.0)
+
+    def test_hop_counts(self, small_network):
+        state = DynamicState(small_network, [(0, 3)], duration_s=2.0,
+                             step_s=1.0)
+        tl = state.compute()[(0, 3)]
+        hops = tl.hop_counts()
+        connected = tl.connected_mask
+        for i in range(len(hops)):
+            if connected[i]:
+                assert hops[i] == len(tl.paths[i]) - 1
+            else:
+                assert hops[i] == -1
+
+
+class TestPathChangeCounting:
+    def test_satellites_of_path(self):
+        assert satellites_of_path([70, 3, 5, 71], 64) == frozenset({3, 5})
+        assert satellites_of_path(None, 64) == frozenset()
+
+    def test_no_changes(self):
+        sets = [frozenset({1, 2})] * 5
+        assert count_path_changes(sets) == 0
+
+    def test_each_transition_counted(self):
+        sets = [frozenset({1}), frozenset({2}), frozenset({2}),
+                frozenset({1})]
+        assert count_path_changes(sets) == 2
+
+    def test_disconnection_counts_as_change(self):
+        sets = [frozenset({1}), frozenset(), frozenset({1})]
+        assert count_path_changes(sets) == 2
+
+    def test_empty_sequence(self):
+        assert count_path_changes([]) == 0

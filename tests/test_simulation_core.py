@@ -1,0 +1,227 @@
+"""Tests for the discrete-event core: scheduler, packets, devices,
+positions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simulation.devices import LinkDevice
+from repro.simulation.events import EventScheduler
+from repro.simulation.packet import DEFAULT_HEADER_BYTES, Packet
+from repro.simulation.positions import PositionService
+
+
+class TestEventScheduler:
+    def test_runs_in_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(2.0, lambda: fired.append("b"))
+        sched.schedule(1.0, lambda: fired.append("a"))
+        sched.schedule(3.0, lambda: fired.append("c"))
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_for_same_time(self):
+        sched = EventScheduler()
+        fired = []
+        for i in range(5):
+            sched.schedule(1.0, lambda i=i: fired.append(i))
+        sched.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        sched = EventScheduler()
+        seen = []
+        sched.schedule(1.5, lambda: seen.append(sched.now))
+        sched.run()
+        assert seen == [1.5]
+        assert sched.now == 1.5
+
+    def test_until_excludes_boundary(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda: fired.append(1))
+        sched.schedule(2.0, lambda: fired.append(2))
+        sched.run(until_s=2.0)
+        assert fired == [1]
+        assert sched.now == 2.0
+        sched.run(until_s=3.0)
+        assert fired == [1, 2]
+
+    def test_events_scheduled_during_run(self):
+        sched = EventScheduler()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sched.schedule(1.0, lambda: fired.append("second"))
+
+        sched.schedule(1.0, first)
+        sched.run()
+        assert fired == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        sched = EventScheduler()
+        with pytest.raises(ValueError):
+            sched.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sched = EventScheduler()
+        sched.schedule(1.0, lambda: None)
+        sched.run()
+        with pytest.raises(ValueError):
+            sched.schedule_at(0.5, lambda: None)
+
+    def test_event_count(self):
+        sched = EventScheduler()
+        for _ in range(7):
+            sched.schedule(1.0, lambda: None)
+        sched.run()
+        assert sched.events_processed == 7
+
+    def test_clear(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda: fired.append(1))
+        sched.clear()
+        sched.run()
+        assert fired == []
+
+
+class TestPacket:
+    def test_payload_defaults_to_size_minus_headers(self):
+        packet = Packet(1, 0, 1, size_bytes=1500)
+        assert packet.payload_bytes == 1500 - DEFAULT_HEADER_BYTES
+
+    def test_explicit_payload(self):
+        packet = Packet(1, 0, 1, size_bytes=64, payload_bytes=0)
+        assert packet.payload_bytes == 0
+
+    def test_unique_ids(self):
+        a = Packet(1, 0, 1, size_bytes=100)
+        b = Packet(1, 0, 1, size_bytes=100)
+        assert a.packet_id != b.packet_id
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(1, 0, 1, size_bytes=0)
+
+    def test_repr_contains_kind(self):
+        packet = Packet(1, 0, 1, size_bytes=100, kind="ack")
+        assert "ack" in repr(packet)
+
+    def test_sack_default_empty(self):
+        packet = Packet(1, 0, 1, size_bytes=40, kind="ack")
+        assert packet.sack == ()
+
+
+class TestPositionService:
+    def test_ground_station_static(self, small_network):
+        service = PositionService(small_network)
+        gs_node = small_network.gs_node_id(0)
+        p0 = service.position_m(gs_node, 0.0)
+        p1 = service.position_m(gs_node, 100.0)
+        assert p0 == p1
+
+    def test_satellite_matches_constellation(self, small_network):
+        service = PositionService(small_network, quantum_s=0.0)
+        batch = small_network.constellation.positions_ecef_m(50.0)
+        for sat in [0, 31, 99]:
+            np.testing.assert_allclose(
+                service.position_m(sat, 50.0), batch[sat], atol=1e-6)
+
+    def test_quantization_error_bounded(self, small_network):
+        coarse = PositionService(small_network, quantum_s=0.01)
+        exact = PositionService(small_network, quantum_s=0.0)
+        # Within one quantum, position differs by at most v * quantum.
+        p_coarse = np.array(coarse.position_m(5, 0.0099))
+        p_exact = np.array(exact.position_m(5, 0.0099))
+        assert np.linalg.norm(p_coarse - p_exact) < 80.0  # < 7.6km/s * 10ms
+
+    def test_distance_symmetric(self, small_network):
+        service = PositionService(small_network)
+        d_ab = service.distance_m(0, 5, 10.0)
+        d_ba = service.distance_m(5, 0, 10.0)
+        assert d_ab == d_ba
+
+    def test_delay_is_distance_over_c(self, small_network):
+        service = PositionService(small_network)
+        d = service.distance_m(0, 1, 0.0)
+        assert service.delay_s(0, 1, 0.0) == pytest.approx(d / 299_792_458.0)
+
+    def test_negative_quantum_rejected(self, small_network):
+        with pytest.raises(ValueError):
+            PositionService(small_network, quantum_s=-1.0)
+
+
+class TestLinkDevice:
+    def _make(self, rate_bps=8000.0, queue=2, delay_s=0.01):
+        sched = EventScheduler()
+        delivered = []
+
+        class FakePositions:
+            def delay_s(self, a, b, t):
+                return delay_s
+
+        device = LinkDevice(sched, FakePositions(), node_id=0,
+                            rate_bps=rate_bps, queue_packets=queue,
+                            deliver=lambda pkt, node: delivered.append(
+                                (sched.now, pkt, node)))
+        return sched, device, delivered
+
+    def test_serialization_plus_propagation(self):
+        sched, device, delivered = self._make(rate_bps=8000.0, delay_s=0.5)
+        # 100 bytes at 8000 bps = 0.1 s serialization.
+        device.enqueue(Packet(1, 0, 1, size_bytes=100), to_node=1)
+        sched.run()
+        assert len(delivered) == 1
+        assert delivered[0][0] == pytest.approx(0.6)
+
+    def test_fifo_ordering(self):
+        sched, device, delivered = self._make()
+        packets = [Packet(1, 0, 1, size_bytes=100, seq=i) for i in range(3)]
+        for packet in packets:
+            assert device.enqueue(packet, to_node=1)
+        sched.run()
+        assert [p.seq for _, p, _ in delivered] == [0, 1, 2]
+
+    def test_drop_tail_when_full(self):
+        sched, device, delivered = self._make(queue=2)
+        results = [device.enqueue(Packet(1, 0, 1, size_bytes=100), 1)
+                   for _ in range(5)]
+        # 1 in service + 2 queued accepted; 2 dropped.
+        assert results == [True, True, True, False, False]
+        assert device.stats.packets_dropped == 2
+        sched.run()
+        assert len(delivered) == 3
+
+    def test_zero_queue_still_transmits_one(self):
+        sched, device, delivered = self._make(queue=0)
+        assert device.enqueue(Packet(1, 0, 1, size_bytes=100), 1)
+        assert not device.enqueue(Packet(1, 0, 1, size_bytes=100), 1)
+        sched.run()
+        assert len(delivered) == 1
+
+    def test_stats_counters(self):
+        sched, device, _ = self._make()
+        device.enqueue(Packet(1, 0, 1, size_bytes=100), 1)
+        sched.run()
+        assert device.stats.packets_sent == 1
+        assert device.stats.bytes_sent == 100
+        assert device.stats.busy_time_s == pytest.approx(0.1)
+
+    def test_utilization(self):
+        sched, device, _ = self._make()
+        device.enqueue(Packet(1, 0, 1, size_bytes=100), 1)
+        sched.run()
+        assert device.stats.utilization(8000.0, 1.0) == pytest.approx(0.1)
+
+    def test_invalid_construction(self):
+        sched = EventScheduler()
+        with pytest.raises(ValueError):
+            LinkDevice(sched, None, 0, rate_bps=0.0, queue_packets=1,
+                       deliver=lambda p, n: None)
+        with pytest.raises(ValueError):
+            LinkDevice(sched, None, 0, rate_bps=1.0, queue_packets=-1,
+                       deliver=lambda p, n: None)
