@@ -1,0 +1,31 @@
+# Developer entry points. `make check` is the PR gate: the tier-1 test
+# suite plus a smoke import of every repro.* module.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: check test smoke bench bench-fig2 clean
+
+check: test smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+smoke:
+	$(PYTHON) -c "import importlib, pkgutil, repro; \
+	mods = ['repro'] + [m.name for m in pkgutil.walk_packages(repro.__path__, 'repro.')]; \
+	[importlib.import_module(name) for name in mods]; \
+	print('smoke-imported', len(mods), 'modules')"
+
+# Full per-figure benchmark harness (writes results/*.txt).
+bench:
+	$(PYTHON) -m pytest benchmarks -q -o testpaths=
+
+# The scalability benches touched by the batched routing path.
+bench-fig2:
+	$(PYTHON) -m pytest benchmarks/test_fig2_scalability.py \
+	    benchmarks/test_batched_routing.py -q -o testpaths=
+
+clean:
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	rm -rf .pytest_cache .benchmarks

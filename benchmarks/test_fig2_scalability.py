@@ -47,11 +47,16 @@ def _run_workload(protocol: str, line_rate: float) -> dict:
     else:
         payload = sum(flow.bytes_received for flow in flows)
     goodput = payload * 8.0 / VIRTUAL_SECONDS
+    perf = sim.stats.perf_summary()
     return {
         "wall_s": wall,
         "slowdown": wall / VIRTUAL_SECONDS,
         "goodput_bps": goodput,
         "events": sim.scheduler.events_processed,
+        "events_per_s": perf["events_per_wall_s"],
+        "routing_s": perf["routing_compute_s"],
+        "trees": perf["trees_computed"],
+        "csr_avoided": perf["csr_rebuilds_avoided"],
     }
 
 
@@ -60,7 +65,8 @@ def test_fig2_slowdown_vs_goodput(protocol, benchmark):
     rows = [f"# protocol={protocol}, {NUM_CITIES} cities, "
             f"{VIRTUAL_SECONDS} virtual seconds",
             f"{'rate (Mbit/s)':>14} {'goodput (Mbit/s)':>17} "
-            f"{'slowdown':>10} {'events':>10}"]
+            f"{'slowdown':>10} {'events':>10} {'events/s':>12} "
+            f"{'routing_s':>10} {'trees':>7} {'csr_avoided':>11}"]
     results = []
 
     def sweep():
@@ -72,7 +78,10 @@ def test_fig2_slowdown_vs_goodput(protocol, benchmark):
     benchmark.pedantic(sweep, rounds=1, iterations=1)
     for rate, result in results:
         rows.append(f"{rate / 1e6:14.2f} {result['goodput_bps'] / 1e6:17.3f} "
-                    f"{result['slowdown']:10.2f} {result['events']:10d}")
+                    f"{result['slowdown']:10.2f} {result['events']:10d} "
+                    f"{result['events_per_s']:12.0f} "
+                    f"{result['routing_s']:10.3f} {result['trees']:7d} "
+                    f"{result['csr_avoided']:11d}")
 
     # Shape check: higher goodput => higher slowdown (per protocol).
     slowdowns = [r["slowdown"] for _, r in results]

@@ -8,12 +8,13 @@ from .doppler import (
     isl_radial_velocities_m_per_s,
     max_isl_doppler_summary,
 )
-from .paths import PairPathStats, pair_path_stats
+from .paths import PairPathStats, pair_path_stats, pair_path_stats_over_time
 from .rtt import (
     MIN_PAIR_SEPARATION_M,
     PairRttStats,
     ecdf,
     pair_rtt_stats,
+    pair_rtt_stats_over_time,
 )
 from .timestep import (
     TimestepComparison,
@@ -36,10 +37,12 @@ __all__ = [
     "unused_bandwidth_stats",
     "PairPathStats",
     "pair_path_stats",
+    "pair_path_stats_over_time",
     "MIN_PAIR_SEPARATION_M",
     "PairRttStats",
     "ecdf",
     "pair_rtt_stats",
+    "pair_rtt_stats_over_time",
     "TimestepComparison",
     "changes_per_step",
     "compare_timesteps",

@@ -20,10 +20,10 @@ import numpy as np
 
 from ..geo.distance import geodesic_rtt_s, great_circle_distance_m
 from ..ground.stations import GroundStation
-from ..topology.dynamic_state import PairTimeline
+from ..topology.dynamic_state import DynamicState, PairTimeline
 
-__all__ = ["PairRttStats", "pair_rtt_stats", "ecdf",
-           "MIN_PAIR_SEPARATION_M"]
+__all__ = ["PairRttStats", "pair_rtt_stats", "pair_rtt_stats_over_time",
+           "ecdf", "MIN_PAIR_SEPARATION_M"]
 
 #: Paper §5.1: pairs closer than this are excluded from RTT distributions.
 MIN_PAIR_SEPARATION_M = 500_000.0
@@ -103,6 +103,24 @@ def pair_rtt_stats(timelines: Dict[Tuple[int, int], PairTimeline],
             connected_fraction=float(mask.mean()),
         ))
     return stats
+
+
+def pair_rtt_stats_over_time(network, pairs: Sequence[Tuple[int, int]],
+                             duration_s: float, step_s: float = 0.1,
+                             min_separation_m: float = MIN_PAIR_SEPARATION_M,
+                             require_always_connected: bool = False,
+                             ) -> List[PairRttStats]:
+    """RTT stats straight from a network (Figs. 6-7 end-to-end).
+
+    Walks the snapshot schedule with the batched routing path (one
+    ``RoutingEngine.route_to_many`` call per snapshot covers every tracked
+    destination) and summarizes each retained pair.
+    """
+    state = DynamicState(network, pairs, duration_s=duration_s,
+                         step_s=step_s)
+    return pair_rtt_stats(state.compute(), network.ground_stations,
+                          min_separation_m=min_separation_m,
+                          require_always_connected=require_always_connected)
 
 
 def ecdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:

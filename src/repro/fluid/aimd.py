@@ -86,17 +86,11 @@ class AimdFluidSimulation:
 
     def _paths_at(self, time_s: float) -> List[Optional[Tuple[int, ...]]]:
         snapshot = self.network.snapshot(time_s)
-        paths: List[Optional[Tuple[int, ...]]] = [None] * len(self.flows)
-        by_dst: Dict[int, List[int]] = {}
-        for i, flow in enumerate(self.flows):
-            by_dst.setdefault(flow.dst_gid, []).append(i)
-        for dst_gid, flow_indices in by_dst.items():
-            routing = self._engine.route_to(snapshot, dst_gid)
-            for i in flow_indices:
-                path = self._engine.path_via(routing, snapshot,
-                                             self.flows[i].src_gid)
-                paths[i] = tuple(path) if path is not None else None
-        return paths
+        # One batched Dijkstra covers every flow's destination tree.
+        node_paths = self._engine.paths_many(
+            snapshot, [(flow.src_gid, flow.dst_gid) for flow in self.flows])
+        return [tuple(path) if path is not None else None
+                for path in node_paths]
 
     def run(self, duration_s: float, step_s: float = 1.0) -> FluidResult:
         """Simulate ``duration_s`` at ``step_s`` granularity."""

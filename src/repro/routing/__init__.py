@@ -1,12 +1,20 @@
 """Shortest-path routing and forwarding state over topology snapshots."""
 
-from .engine import UNREACHABLE, DestinationRouting, RoutingEngine
+from .engine import (
+    UNREACHABLE,
+    DestinationRouting,
+    MultiDestinationRouting,
+    RoutingEngine,
+    RoutingPerfCounters,
+)
 from .multipath import edge_disjoint_paths, k_shortest_paths, path_distance_m
 
 __all__ = [
     "UNREACHABLE",
     "DestinationRouting",
+    "MultiDestinationRouting",
     "RoutingEngine",
+    "RoutingPerfCounters",
     "edge_disjoint_paths",
     "k_shortest_paths",
     "path_distance_m",

@@ -4,27 +4,40 @@ Paper §3.1: for every time interval, Hypatia generates the network graph
 (accounting for satellite positions and link lengths) and computes each
 node's forwarding state with shortest-path routing.
 
-This engine reproduces that computation with one single-source Dijkstra per
-*destination* ground station (scipy's C implementation), exploiting two
+This engine reproduces that computation with one *batched* Dijkstra over
+all destination ground stations (scipy's C implementation), exploiting two
 structural facts:
 
 * Only satellites — and, in bent-pipe mode, relay ground stations — may
   forward traffic.  Ordinary GSes are endpoints.  The engine therefore
   builds a "transit graph" of ISLs plus relay GSLs in which non-relay GS
-  nodes are isolated, and attaches only the destination's own GSLs per
-  query.  Paths can then never transit a third ground station.
+  nodes are isolated, and attaches each destination's own GSLs as edges
+  *directed out of* the destination node.  Trees are grown from the
+  destinations, so a directed GSL can be the first hop of its own tree but
+  can never be entered from another destination's tree — paths can then
+  never transit a third ground station, even with every destination's
+  GSLs present in one matrix.
 * All links are symmetric, so the shortest-path tree rooted at the
   destination simultaneously yields (a) the distance from every satellite
   to the destination and (b) every satellite's next hop toward it — exactly
   the forwarding state the packet simulator installs.
 
+The transit graph is the same for every destination at a given snapshot,
+so its edge arrays are built once per :class:`TopologySnapshot` (cached on
+the engine, invalidated by snapshot identity) and all destination trees of
+one forwarding update come out of a single multi-index
+``scipy.sparse.csgraph.dijkstra`` call (:meth:`RoutingEngine.route_to_many`).
+
 A source GS's ingress satellite is chosen afterwards by minimizing
-``uplink + satellite-to-destination`` over its visible satellites.
+``uplink + satellite-to-destination`` over its visible satellites; with a
+batched result this minimization is vectorized across destinations
+(:meth:`MultiDestinationRouting.source_ingress_many`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -35,10 +48,57 @@ from ..geo.constants import SPEED_OF_LIGHT_M_PER_S
 from ..topology.gsl import GslEdges
 from ..topology.network import LeoNetwork, TopologySnapshot
 
-__all__ = ["DestinationRouting", "RoutingEngine", "UNREACHABLE"]
+__all__ = ["DestinationRouting", "MultiDestinationRouting",
+           "RoutingEngine", "RoutingPerfCounters", "UNREACHABLE"]
 
 #: Marker used in next-hop arrays for "no route".
 UNREACHABLE = -1
+
+
+@dataclass
+class RoutingPerfCounters:
+    """Lightweight accounting of the routing hot path.
+
+    One instance is shared between a :class:`RoutingEngine` and whoever
+    wants to report its cost (e.g. ``SimulationStats`` — the Fig. 2
+    scalability benchmark records these alongside slowdown).
+
+    Attributes:
+        routing_compute_s: Wall-clock seconds spent computing trees.
+        trees_computed: Destination trees computed (one per destination
+            per forwarding update).
+        dijkstra_calls: scipy ``dijkstra`` invocations (batched: one per
+            update rather than one per destination).
+        transit_builds: Times the transit edge arrays were actually
+            (re)built from a snapshot.
+        transit_cache_hits: Times they were reused from the snapshot cache.
+    """
+
+    routing_compute_s: float = 0.0
+    trees_computed: int = 0
+    dijkstra_calls: int = 0
+    transit_builds: int = 0
+    transit_cache_hits: int = 0
+
+    @property
+    def csr_rebuilds_avoided(self) -> int:
+        """Transit-graph rebuilds the batched path saved.
+
+        The pre-batching code rebuilt the transit arrays once per
+        destination tree; the batched path builds them once per snapshot.
+        """
+        return self.trees_computed - self.transit_builds
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary (the benchmark-facing hook)."""
+        return {
+            "routing_compute_s": self.routing_compute_s,
+            "trees_computed": self.trees_computed,
+            "dijkstra_calls": self.dijkstra_calls,
+            "transit_builds": self.transit_builds,
+            "transit_cache_hits": self.transit_cache_hits,
+            "csr_rebuilds_avoided": self.csr_rebuilds_avoided,
+        }
 
 
 @dataclass(frozen=True)
@@ -81,69 +141,191 @@ class DestinationRouting:
         return int(source_edges.satellite_ids[best]), total
 
 
+@dataclass(frozen=True)
+class MultiDestinationRouting:
+    """Shortest-path state toward many destinations at one instant.
+
+    The batched result of :meth:`RoutingEngine.route_to_many`: row ``i``
+    of the matrices is the destination tree of ``dst_gids[i]`` (duplicate
+    input gids are deduplicated, first occurrence wins).
+
+    Attributes:
+        dst_gids: The (deduplicated) destination gids, in input order.
+        dst_nodes: (D,) their graph node ids.
+        distance_m: (D, num_nodes) distances toward each destination.
+        next_hop: (D, num_nodes) next hops toward each destination,
+            ``UNREACHABLE`` where none exists.
+    """
+
+    dst_gids: Tuple[int, ...]
+    dst_nodes: np.ndarray
+    distance_m: np.ndarray
+    next_hop: np.ndarray
+    _row_of: Dict[int, int] = field(repr=False, default_factory=dict)
+
+    @property
+    def num_destinations(self) -> int:
+        return len(self.dst_gids)
+
+    def routing_for(self, dst_gid: int) -> DestinationRouting:
+        """The single-destination view of one row (zero-copy)."""
+        row = self._row_of[int(dst_gid)]
+        return DestinationRouting(
+            dst_gid=int(dst_gid),
+            dst_node=int(self.dst_nodes[row]),
+            distance_m=self.distance_m[row],
+            next_hop=self.next_hop[row],
+        )
+
+    def source_ingress_many(self, source_edges: GslEdges
+                            ) -> Tuple[np.ndarray, np.ndarray]:
+        """Best ingress satellite toward *every* destination, vectorized.
+
+        Returns:
+            ``(ingress, totals)`` — (D,) arrays where ``ingress[i]`` is the
+            satellite id minimizing uplink + distance toward
+            ``dst_gids[i]`` (``UNREACHABLE`` if none) and ``totals[i]``
+            the resulting source-to-destination distance (``inf`` if
+            disconnected).
+        """
+        num = self.num_destinations
+        if not source_edges.is_connected:
+            return (np.full(num, UNREACHABLE, dtype=np.int64),
+                    np.full(num, np.inf))
+        # (D, K): uplink length + per-destination satellite distance.
+        totals = (source_edges.lengths_m[np.newaxis, :]
+                  + self.distance_m[:, source_edges.satellite_ids])
+        best = np.argmin(totals, axis=1)
+        best_totals = totals[np.arange(num), best]
+        ingress = source_edges.satellite_ids[best].astype(np.int64)
+        ingress[~np.isfinite(best_totals)] = UNREACHABLE
+        return ingress, best_totals
+
+
 class RoutingEngine:
     """Computes shortest-path forwarding state over a network's snapshots.
 
     Args:
         network: The LEO network; its node-numbering convention is adopted.
+        perf: Optional shared perf-counter sink; a private one is created
+            when omitted (exposed as :attr:`perf`).
 
-    The engine is stateless across snapshots apart from the static edge
-    index arrays (ISL endpoints, relay identities), which it precomputes
-    once.
+    Apart from the static edge index arrays (ISL endpoints, relay
+    identities), which it precomputes once, the engine keeps exactly one
+    piece of dynamic state: the transit edge arrays of the most recent
+    snapshot, keyed by snapshot identity, so that the many destination
+    trees of one forwarding update share a single graph construction.
     """
 
-    def __init__(self, network: LeoNetwork) -> None:
+    def __init__(self, network: LeoNetwork,
+                 perf: Optional[RoutingPerfCounters] = None) -> None:
         self.network = network
+        self.perf = perf if perf is not None else RoutingPerfCounters()
         self._num_sats = network.num_satellites
         self._num_nodes = network.num_nodes
         self._relay_gids = [
             station.gid for station in network.ground_stations
             if station.is_relay
         ]
+        self._relay_gid_set = frozenset(self._relay_gids)
+        self._cached_snapshot: Optional[TopologySnapshot] = None
+        self._cached_transit: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
-    # Core per-destination computation
+    # Core batched computation
     # ------------------------------------------------------------------
+
+    def route_to_many(self, snapshot: TopologySnapshot,
+                      dst_gids: Sequence[int]) -> MultiDestinationRouting:
+        """Shortest-path state toward every given destination, batched.
+
+        Builds the transit graph once (cached per snapshot), appends all
+        destinations' GSL edges — directed out of each destination node —
+        into one sparse matrix, and computes every destination tree with a
+        single multi-index Dijkstra call.
+        """
+        start = time.perf_counter()
+        unique_gids: List[int] = []
+        seen = set()
+        for gid in dst_gids:
+            gid = int(gid)
+            if gid not in seen:
+                seen.add(gid)
+                unique_gids.append(gid)
+        if not unique_gids:
+            raise ValueError("need at least one destination gid")
+        rows, cols, data = self._transit_arrays(snapshot)
+        dst_nodes = np.array([snapshot.gs_node_id(gid)
+                              for gid in unique_gids], dtype=np.int64)
+        # Non-relay destinations contribute their own GSLs, directed
+        # dst -> satellite so other trees cannot transit them; relay
+        # destinations are already (symmetrically) in the transit graph.
+        gsl_gids = [gid for gid in unique_gids
+                    if gid not in self._relay_gid_set]
+        gs_nodes, sat_ids, lengths = snapshot.gsl_edge_arrays(gsl_gids)
+        if len(gs_nodes):
+            rows = np.concatenate([rows, gs_nodes])
+            cols = np.concatenate([cols, sat_ids])
+            data = np.concatenate([data, lengths])
+        graph = csr_matrix((data, (rows, cols)),
+                           shape=(self._num_nodes, self._num_nodes))
+        distances, predecessors = dijkstra(
+            graph, directed=True, indices=dst_nodes,
+            return_predecessors=True)
+        distances = np.atleast_2d(distances)
+        next_hop = np.atleast_2d(predecessors).astype(np.int64)
+        next_hop[next_hop < 0] = UNREACHABLE
+        self.perf.trees_computed += len(unique_gids)
+        self.perf.dijkstra_calls += 1
+        self.perf.routing_compute_s += time.perf_counter() - start
+        return MultiDestinationRouting(
+            dst_gids=tuple(unique_gids),
+            dst_nodes=dst_nodes,
+            distance_m=distances,
+            next_hop=next_hop,
+            _row_of={gid: i for i, gid in enumerate(unique_gids)},
+        )
 
     def route_to(self, snapshot: TopologySnapshot,
                  dst_gid: int) -> DestinationRouting:
         """Shortest-path state toward ``dst_gid`` at this snapshot."""
+        multi = self.route_to_many(snapshot, [dst_gid])
+        return multi.routing_for(dst_gid)
+
+    def _transit_arrays(self, snapshot: TopologySnapshot
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Directed transit edge arrays, cached by snapshot identity.
+
+        Transit links are symmetric, so each appears in both directions;
+        the cache holds a strong reference to the snapshot, making
+        identity comparison safe against id() reuse.
+        """
+        if snapshot is self._cached_snapshot:
+            self.perf.transit_cache_hits += 1
+            assert self._cached_transit is not None
+            return self._cached_transit
         rows, cols, data = self._transit_edges(snapshot)
-        dst_node = snapshot.gs_node_id(dst_gid)
-        dst_edges = snapshot.gsl_edges[dst_gid]
-        if dst_edges.is_connected and dst_gid not in self._relay_gids:
-            rows = np.concatenate(
-                [rows, np.full(len(dst_edges.satellite_ids), dst_node)])
-            cols = np.concatenate([cols, dst_edges.satellite_ids])
-            data = np.concatenate([data, dst_edges.lengths_m])
-        graph = csr_matrix((data, (rows, cols)),
-                           shape=(self._num_nodes, self._num_nodes))
-        distances, predecessors = dijkstra(
-            graph, directed=False, indices=dst_node,
-            return_predecessors=True)
-        next_hop = predecessors.astype(np.int64)
-        next_hop[next_hop < 0] = UNREACHABLE
-        return DestinationRouting(
-            dst_gid=dst_gid,
-            dst_node=dst_node,
-            distance_m=distances,
-            next_hop=next_hop,
-        )
+        directed = (np.concatenate([rows, cols]),
+                    np.concatenate([cols, rows]),
+                    np.concatenate([data, data]))
+        self._cached_snapshot = snapshot
+        self._cached_transit = directed
+        self.perf.transit_builds += 1
+        return directed
 
     def _transit_edges(self, snapshot: TopologySnapshot
                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Edge arrays of the transit graph (ISLs + relay GSLs)."""
+        """One-way edge arrays of the transit graph (ISLs + relay GSLs)."""
         rows_list: List[np.ndarray] = [snapshot.isl_pairs[:, 0]]
         cols_list: List[np.ndarray] = [snapshot.isl_pairs[:, 1]]
         data_list: List[np.ndarray] = [snapshot.isl_lengths_m]
-        for gid in self._relay_gids:
-            edges = snapshot.gsl_edges[gid]
-            if not edges.is_connected:
-                continue
-            node = snapshot.gs_node_id(gid)
-            rows_list.append(np.full(len(edges.satellite_ids), node))
-            cols_list.append(edges.satellite_ids)
-            data_list.append(edges.lengths_m)
+        relay_nodes, relay_sats, relay_lengths = snapshot.gsl_edge_arrays(
+            self._relay_gids)
+        if len(relay_nodes):
+            rows_list.append(relay_nodes)
+            cols_list.append(relay_sats)
+            data_list.append(relay_lengths)
         return (np.concatenate(rows_list).astype(np.int64),
                 np.concatenate(cols_list).astype(np.int64),
                 np.concatenate(data_list).astype(np.float64))
@@ -154,7 +336,13 @@ class RoutingEngine:
 
     def pair_distance_m(self, snapshot: TopologySnapshot,
                         src_gid: int, dst_gid: int) -> float:
-        """Shortest-path distance between two GSes; inf if disconnected."""
+        """Shortest-path distance between two GSes; inf if disconnected.
+
+        A station is at distance 0 from itself (consistent with
+        :meth:`distances_to` and :meth:`all_pairs_distance_m`).
+        """
+        if src_gid == dst_gid:
+            return 0.0
         routing = self.route_to(snapshot, dst_gid)
         _, distance = routing.source_ingress(snapshot.gsl_edges[src_gid])
         return distance
@@ -196,6 +384,23 @@ class RoutingEngine:
         raise RuntimeError("next-hop walk did not terminate; routing state "
                            "is inconsistent")
 
+    def paths_many(self, snapshot: TopologySnapshot,
+                   pairs: Sequence[Tuple[int, int]]
+                   ) -> List[Optional[List[int]]]:
+        """Shortest paths of many (src_gid, dst_gid) pairs, batched.
+
+        All distinct destinations are routed in one Dijkstra call; pairs
+        sharing a destination share its tree.  Returns one path (or None)
+        per input pair, in order.
+        """
+        if not pairs:
+            return []
+        multi = self.route_to_many(snapshot, [dst for _, dst in pairs])
+        return [
+            self.path_via(multi.routing_for(dst_gid), snapshot, src_gid)
+            for src_gid, dst_gid in pairs
+        ]
+
     def distances_to(self, snapshot: TopologySnapshot, dst_gid: int,
                      src_gids: Sequence[int]) -> np.ndarray:
         """Distances from many sources to one destination (meters)."""
@@ -213,15 +418,22 @@ class RoutingEngine:
                              ) -> np.ndarray:
         """(G, G) matrix of GS-to-GS shortest-path distances.
 
-        Symmetric by construction (links are symmetric); entry ``[i, j]`` is
-        ``inf`` where no path exists and 0 on the diagonal.
+        All destination trees come from one batched Dijkstra; each row is
+        then a vectorized ingress minimization.  Symmetric by construction
+        (links are symmetric); entry ``[i, j]`` is ``inf`` where no path
+        exists and 0 wherever ``gids[i] == gids[j]``.
         """
         if gids is None:
             gids = range(self.network.num_ground_stations)
-        gids = list(gids)
+        gids = [int(g) for g in gids]
+        multi = self.route_to_many(snapshot, gids)
+        # Column -> batched row (distinct only if gids held duplicates).
+        columns = [multi._row_of[gid] for gid in gids]
         matrix = np.zeros((len(gids), len(gids)))
-        for j, dst_gid in enumerate(gids):
-            distances = self.distances_to(snapshot, dst_gid, gids)
-            matrix[:, j] = distances
-            matrix[j, j] = 0.0
+        for i, src_gid in enumerate(gids):
+            _, totals = multi.source_ingress_many(
+                snapshot.gsl_edges[src_gid])
+            matrix[i, :] = totals[columns]
+        same = np.equal.outer(np.asarray(gids), np.asarray(gids))
+        matrix[same] = 0.0
         return matrix

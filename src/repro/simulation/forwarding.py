@@ -15,9 +15,19 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set, Tuple
 
-from ..routing.engine import UNREACHABLE, DestinationRouting, RoutingEngine
+from typing import TYPE_CHECKING
+
+from ..routing.engine import (
+    UNREACHABLE,
+    DestinationRouting,
+    MultiDestinationRouting,
+    RoutingEngine,
+)
 from ..topology.network import LeoNetwork, TopologySnapshot
 from .events import EventScheduler
+
+if TYPE_CHECKING:
+    from ..routing.engine import RoutingPerfCounters
 
 __all__ = ["ForwardingController"]
 
@@ -30,19 +40,26 @@ class ForwardingController:
         scheduler: The simulation clock to hook update events into.
         update_interval_s: Forwarding-state recomputation period (paper
             default 0.1 s).
+        perf: Optional shared routing perf-counter sink (surfaced through
+            ``SimulationStats`` by the packet simulator).
+
+    Each update computes every registered destination's tree in a single
+    batched Dijkstra (:meth:`RoutingEngine.route_to_many`).
     """
 
     def __init__(self, network: LeoNetwork, scheduler: EventScheduler,
-                 update_interval_s: float = 0.1) -> None:
+                 update_interval_s: float = 0.1,
+                 perf: "Optional[RoutingPerfCounters]" = None) -> None:
         if update_interval_s <= 0.0:
             raise ValueError(
                 f"update interval must be positive, got {update_interval_s}")
         self.network = network
         self.update_interval_s = update_interval_s
         self._scheduler = scheduler
-        self._engine = RoutingEngine(network)
+        self._engine = RoutingEngine(network, perf=perf)
         self._destinations: Set[int] = set()
         self._routing: Dict[int, DestinationRouting] = {}
+        self._multi: Optional[MultiDestinationRouting] = None
         self._ingress_cache: Dict[Tuple[int, int], Optional[int]] = {}
         self._snapshot: Optional[TopologySnapshot] = None
         self._started = False
@@ -64,8 +81,7 @@ class ForwardingController:
             raise ValueError(f"gid {dst_gid} out of range")
         self._destinations.add(dst_gid)
         if self._started and self._snapshot is not None:
-            self._routing[dst_gid] = self._engine.route_to(
-                self._snapshot, dst_gid)
+            self._refresh_routing()
 
     def start(self) -> None:
         """Install state for time 0 and schedule periodic refreshes."""
@@ -77,12 +93,23 @@ class ForwardingController:
     def _update(self) -> None:
         now = self._scheduler.now
         self._snapshot = self.network.snapshot(now)
-        self._routing = {
-            dst_gid: self._engine.route_to(self._snapshot, dst_gid)
-            for dst_gid in self._destinations
-        }
-        self._ingress_cache.clear()
+        self._refresh_routing()
         self._scheduler.schedule(self.update_interval_s, self._update)
+
+    def _refresh_routing(self) -> None:
+        """Recompute all destination trees against the current snapshot."""
+        if self._destinations:
+            assert self._snapshot is not None
+            self._multi = self._engine.route_to_many(
+                self._snapshot, sorted(self._destinations))
+            self._routing = {
+                dst_gid: self._multi.routing_for(dst_gid)
+                for dst_gid in self._destinations
+            }
+        else:
+            self._multi = None
+            self._routing = {}
+        self._ingress_cache.clear()
 
     # ------------------------------------------------------------------
     # Lookup API used by the packet forwarder
@@ -115,8 +142,13 @@ class ForwardingController:
             return None if hop == UNREACHABLE else hop
         key = (src_gid, dst_gid)
         if key not in self._ingress_cache:
-            assert self._snapshot is not None
-            ingress, _ = routing.source_ingress(
+            assert self._snapshot is not None and self._multi is not None
+            # One vectorized minimization fills the cache for this source
+            # against every registered destination at once.
+            ingress, _ = self._multi.source_ingress_many(
                 self._snapshot.gsl_edges[src_gid])
-            self._ingress_cache[key] = ingress
+            for row, gid in enumerate(self._multi.dst_gids):
+                sat = int(ingress[row])
+                self._ingress_cache[(src_gid, gid)] = (
+                    None if sat == UNREACHABLE else sat)
         return self._ingress_cache[key]

@@ -34,11 +34,22 @@ class PositionService:
         network: The network whose node-numbering is used.
         quantum_s: Positions are evaluated on this time grid; lookups in
             between reuse the grid point.  Zero disables quantization.
+        cache_entries: Size of one memo generation.  The memo is bounded
+            by keeping *two* generations: when the young generation fills
+            up it becomes the old one, and old-generation hits are promoted
+            back.  Entries touched recently (the simulation's current time
+            buckets) therefore survive eviction — a plain ``clear()`` used
+            to throw away the hot bucket mid-transmission-burst and force
+            recomputation of positions still in active use.
     """
 
-    def __init__(self, network: LeoNetwork, quantum_s: float = 0.001) -> None:
+    def __init__(self, network: LeoNetwork, quantum_s: float = 0.001,
+                 cache_entries: int = 200_000) -> None:
         if quantum_s < 0.0:
             raise ValueError(f"quantum must be >= 0, got {quantum_s}")
+        if cache_entries < 1:
+            raise ValueError(
+                f"cache_entries must be >= 1, got {cache_entries}")
         self._network = network
         self._quantum_s = quantum_s
         constellation = network.constellation
@@ -60,7 +71,12 @@ class PositionService:
             network.gs_node_id(gs.gid): tuple(gs.ecef_m)
             for gs in network.ground_stations
         }
+        self._cache_entries = int(cache_entries)
         self._cache: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
+        self._old_cache: Dict[Tuple[int, int],
+                              Tuple[float, float, float]] = {}
+        #: Number of actual orbit propagations (cache-miss accounting).
+        self.position_computes = 0
 
     def position_m(self, node_id: int, time_s: float
                    ) -> Tuple[float, float, float]:
@@ -73,18 +89,25 @@ class PositionService:
             cached = self._cache.get(key)
             if cached is not None:
                 return cached
-            quantized_time = bucket * self._quantum_s
-            position = self._satellite_position(node_id, quantized_time)
-            self._cache[key] = position
-            # Keep the memo bounded: old buckets are never revisited.
-            if len(self._cache) > 200_000:
-                self._cache.clear()
-            return position
+            cached = self._old_cache.get(key)
+            if cached is None:
+                quantized_time = bucket * self._quantum_s
+                cached = self._satellite_position(node_id, quantized_time)
+            # Insert (or promote an old-generation hit) into the young
+            # generation, then rotate generations when it fills up: stale
+            # buckets age out while actively used ones keep getting
+            # promoted and are never recomputed.
+            self._cache[key] = cached
+            if len(self._cache) > self._cache_entries:
+                self._old_cache = self._cache
+                self._cache = {}
+            return cached
         return self._satellite_position(node_id, time_s)
 
     def _satellite_position(self, sat_id: int, time_s: float
                             ) -> Tuple[float, float, float]:
         """Scalar circular-orbit propagation + Earth rotation."""
+        self.position_computes += 1
         time_s = time_s + self._epoch_offset_s
         u = self._anom[sat_id] + self._motion[sat_id] * time_s
         r = self._radius[sat_id]

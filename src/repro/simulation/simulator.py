@@ -16,9 +16,11 @@ station nodes and exchange packets identified by flow ids.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
+from ..routing.engine import RoutingPerfCounters
 from ..topology.network import LeoNetwork
 from .devices import LinkDevice
 from .events import EventScheduler
@@ -57,7 +59,12 @@ class LinkConfig:
 
 
 class SimulationStats:
-    """Network-layer counters of one simulation run."""
+    """Network-layer counters and perf accounting of one simulation run.
+
+    Besides packet counters, carries the scalability-facing metrics the
+    Fig. 2 benchmark records: wall-clock time inside :meth:`run`, events
+    processed, and the routing engine's shared perf counters.
+    """
 
     def __init__(self) -> None:
         self.packets_forwarded = 0
@@ -65,12 +72,34 @@ class SimulationStats:
         self.packets_dropped_no_route = 0
         self.packets_dropped_queue = 0
         self.packets_dropped_ttl = 0
+        self.packets_dropped_no_handler = 0
+        self.wall_time_s = 0.0
+        self.events_processed = 0
+        self.routing = RoutingPerfCounters()
 
     @property
     def packets_dropped(self) -> int:
         """All drops regardless of cause."""
         return (self.packets_dropped_no_route + self.packets_dropped_queue
-                + self.packets_dropped_ttl)
+                + self.packets_dropped_ttl
+                + self.packets_dropped_no_handler)
+
+    @property
+    def events_per_wall_s(self) -> float:
+        """Scheduler throughput (events per wall-clock second)."""
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.events_processed / self.wall_time_s
+
+    def perf_summary(self) -> Dict[str, float]:
+        """Flat benchmark-facing summary of the run's performance."""
+        summary = {
+            "wall_time_s": self.wall_time_s,
+            "events_processed": self.events_processed,
+            "events_per_wall_s": self.events_per_wall_s,
+        }
+        summary.update(self.routing.as_dict())
+        return summary
 
 
 class PacketSimulator:
@@ -113,15 +142,20 @@ class PacketSimulator:
         gsl_rate_overrides = gsl_rate_overrides or {}
         self.scheduler = EventScheduler()
         self.positions = PositionService(network, quantum_s=position_quantum_s)
-        self.forwarding = ForwardingController(
-            network, self.scheduler, update_interval_s=forwarding_interval_s)
         self.stats = SimulationStats()
+        self.forwarding = ForwardingController(
+            network, self.scheduler, update_interval_s=forwarding_interval_s,
+            perf=self.stats.routing)
         self._num_sats = network.num_satellites
         isl_pair_set = {(int(a), int(b)) for a, b in network.isl_pairs}
         isl_pair_set |= {(b, a) for a, b in isl_pair_set}
         for key in isl_rate_overrides:
             if tuple(key) not in isl_pair_set:
                 raise ValueError(f"ISL rate override for non-ISL {key}")
+        for node in gsl_rate_overrides:
+            if not 0 <= int(node) < network.num_nodes:
+                raise ValueError(
+                    f"GSL rate override for unknown node {node}")
         self._isl_devices: Dict[Tuple[int, int], LinkDevice] = {}
         for a, b in network.isl_pairs:
             a, b = int(a), int(b)
@@ -180,10 +214,13 @@ class PacketSimulator:
 
     def run(self, duration_s: float) -> None:
         """Start (if needed) and run the simulation until ``duration_s``."""
+        start = time.perf_counter()
         if not self._started:
             self._started = True
             self.forwarding.start()
         self.scheduler.run(until_s=duration_s)
+        self.stats.wall_time_s += time.perf_counter() - start
+        self.stats.events_processed = self.scheduler.events_processed
 
     def isl_device(self, from_sat: int, to_sat: int) -> LinkDevice:
         """The directed device of an ISL (for stats inspection)."""
@@ -227,5 +264,10 @@ class PacketSimulator:
             if handler is not None:
                 self.stats.packets_delivered += 1
                 handler(packet)
+            else:
+                # The packet reached its destination but no application
+                # claims the flow; count it so no packet ever vanishes
+                # from the accounting.
+                self.stats.packets_dropped_no_handler += 1
             return
         self._forward(node, packet)

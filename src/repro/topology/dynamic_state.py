@@ -139,9 +139,10 @@ class DynamicState:
     def compute(self) -> Dict[Tuple[int, int], PairTimeline]:
         """Run the schedule and return one timeline per tracked pair.
 
-        Destination trees are shared across pairs with the same
-        destination, so tracking a full permutation traffic matrix costs
-        one Dijkstra per distinct destination per snapshot.
+        All destination trees of one snapshot come from a single batched
+        Dijkstra (:meth:`RoutingEngine.route_to_many`), so tracking a full
+        permutation traffic matrix costs one C-level graph sweep per
+        snapshot rather than one Python-level call per destination.
         """
         timelines = {
             pair: PairTimeline(
@@ -154,19 +155,17 @@ class DynamicState:
         destinations = sorted({dst for _, dst in self.pairs})
         for t_index, time_s in enumerate(self.times_s):
             snapshot = self.network.snapshot(float(time_s))
-            for dst_gid in destinations:
-                routing = self.engine.route_to(snapshot, dst_gid)
-                for pair in self.pairs:
-                    if pair[1] != dst_gid:
-                        continue
-                    src_gid = pair[0]
-                    path = self.engine.path_via(routing, snapshot, src_gid)
-                    timeline = timelines[pair]
-                    if path is None:
-                        timeline.paths.append(None)
-                        continue
-                    _, distance = routing.source_ingress(
-                        snapshot.gsl_edges[src_gid])
-                    timeline.distances_m[t_index] = distance
-                    timeline.paths.append(tuple(path))
+            multi = self.engine.route_to_many(snapshot, destinations)
+            for pair in self.pairs:
+                src_gid, dst_gid = pair
+                routing = multi.routing_for(dst_gid)
+                path = self.engine.path_via(routing, snapshot, src_gid)
+                timeline = timelines[pair]
+                if path is None:
+                    timeline.paths.append(None)
+                    continue
+                _, distance = routing.source_ingress(
+                    snapshot.gsl_edges[src_gid])
+                timeline.distances_m[t_index] = distance
+                timeline.paths.append(tuple(path))
         return timelines

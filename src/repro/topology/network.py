@@ -74,6 +74,38 @@ class TopologySnapshot:
         """Whether a node id denotes a ground station."""
         return node_id >= self.num_satellites
 
+    def gsl_edge_arrays(self, gids: Sequence[int]
+                        ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Concatenated GSL edge arrays of many ground stations.
+
+        The batched routing path appends all destinations' GSLs to the
+        transit graph in one shot; this assembles the COO triplets for it.
+
+        Returns:
+            ``(gs_nodes, satellite_ids, lengths_m)`` — equal-length arrays
+            with one entry per admissible GSL of the listed stations, in
+            input order.  Disconnected stations contribute nothing.
+        """
+        nodes_list: List[np.ndarray] = []
+        sats_list: List[np.ndarray] = []
+        lengths_list: List[np.ndarray] = []
+        for gid in gids:
+            edges = self.gsl_edges[gid]
+            if not edges.is_connected:
+                continue
+            node = self.gs_node_id(gid)
+            nodes_list.append(np.full(len(edges.satellite_ids), node,
+                                      dtype=np.int64))
+            sats_list.append(edges.satellite_ids.astype(np.int64))
+            lengths_list.append(edges.lengths_m.astype(np.float64))
+        if not nodes_list:
+            return (np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0))
+        return (np.concatenate(nodes_list),
+                np.concatenate(sats_list),
+                np.concatenate(lengths_list))
+
     def to_networkx(self, weight: str = "distance_m") -> nx.Graph:
         """The snapshot as a weighted undirected networkx graph.
 

@@ -87,6 +87,28 @@ class TestMaxMin:
         rates = max_min_fair_allocation({"l": 0.0}, [["l"]])
         np.testing.assert_allclose(rates, [0.0])
 
+    def test_zero_capacity_link_does_not_starve_others(self):
+        """Flows crossing a dead link get 0; disjoint flows are unaffected."""
+        capacity = {"dead": 0.0, "live": 10.0}
+        flows = [["dead"], ["dead", "live"], ["live"]]
+        rates = max_min_fair_allocation(capacity, flows)
+        np.testing.assert_allclose(rates, [0.0, 0.0, 10.0])
+
+    def test_demand_exactly_at_fair_share(self):
+        """A demand equal to the link's equal split freezes at that rate
+        and leaves nothing stranded: the other flow takes the rest."""
+        rates = max_min_fair_allocation({"l": 10.0}, [["l"], ["l"]],
+                                        demands=[5.0, np.inf])
+        np.testing.assert_allclose(rates, [5.0, 5.0])
+
+    def test_all_flows_demand_capped(self):
+        """When every demand is below any link share, rates == demands and
+        capacity goes unused."""
+        rates = max_min_fair_allocation({"l": 100.0},
+                                        [["l"], ["l"], ["l"]],
+                                        demands=[1.0, 2.0, 3.0])
+        np.testing.assert_allclose(rates, [1.0, 2.0, 3.0])
+
 
 class TestPathDevices:
     def test_isl_and_gsl_hops(self):

@@ -67,6 +67,89 @@ class TestRouteTo:
                     assert node < small_network.num_satellites
 
 
+class TestBatchedRouting:
+    def test_route_to_many_matches_route_to(self, small_network, engine):
+        """The batched trees are bit-identical to per-destination ones."""
+        snap = small_network.snapshot(0.0)
+        destinations = list(range(6))
+        multi = engine.route_to_many(snap, destinations)
+        for dst_gid in destinations:
+            single = engine.route_to(snap, dst_gid)
+            batched = multi.routing_for(dst_gid)
+            assert batched.dst_node == single.dst_node
+            np.testing.assert_array_equal(batched.distance_m,
+                                          single.distance_m)
+            np.testing.assert_array_equal(batched.next_hop, single.next_hop)
+
+    def test_trees_isolated_from_other_destinations(self, small_network,
+                                                    engine):
+        """Destination GSLs are directed: tree A never transits GS B even
+        though B's edges sit in the same batched matrix."""
+        snap = small_network.snapshot(0.0)
+        multi = engine.route_to_many(snap, list(range(6)))
+        for dst_gid in range(6):
+            row = multi.routing_for(dst_gid)
+            for other in range(6):
+                if other == dst_gid:
+                    continue
+                assert row.distance_m[snap.gs_node_id(other)] == np.inf
+
+    def test_duplicate_destinations_deduplicated(self, small_network,
+                                                 engine):
+        snap = small_network.snapshot(0.0)
+        multi = engine.route_to_many(snap, [3, 1, 3, 1, 3])
+        assert multi.dst_gids == (3, 1)
+        assert multi.distance_m.shape[0] == 2
+
+    def test_empty_destinations_rejected(self, small_network, engine):
+        with pytest.raises(ValueError):
+            engine.route_to_many(small_network.snapshot(0.0), [])
+
+    def test_source_ingress_many_matches_scalar(self, small_network,
+                                                engine):
+        snap = small_network.snapshot(0.0)
+        multi = engine.route_to_many(snap, [1, 2, 4])
+        for src_gid in range(6):
+            edges = snap.gsl_edges[src_gid]
+            ingress, totals = multi.source_ingress_many(edges)
+            for row, dst_gid in enumerate(multi.dst_gids):
+                expected_sat, expected_total = \
+                    multi.routing_for(dst_gid).source_ingress(edges)
+                if expected_sat is None:
+                    assert ingress[row] == UNREACHABLE
+                    assert totals[row] == np.inf
+                else:
+                    assert ingress[row] == expected_sat
+                    assert totals[row] == expected_total
+
+    def test_transit_cache_reused_within_snapshot(self, small_network,
+                                                  engine):
+        snap = small_network.snapshot(0.0)
+        engine.route_to_many(snap, [0, 1])
+        engine.route_to_many(snap, [2, 3])
+        assert engine.perf.transit_builds == 1
+        assert engine.perf.transit_cache_hits == 1
+        assert engine.perf.trees_computed == 4
+        assert engine.perf.dijkstra_calls == 2
+
+    def test_transit_cache_invalidated_by_new_snapshot(self, small_network,
+                                                       engine):
+        engine.route_to_many(small_network.snapshot(0.0), [0])
+        engine.route_to_many(small_network.snapshot(1.0), [0])
+        assert engine.perf.transit_builds == 2
+        assert engine.perf.csr_rebuilds_avoided == 0
+
+    def test_paths_many_matches_path(self, small_network, engine):
+        snap = small_network.snapshot(0.0)
+        pairs = [(0, 3), (1, 4), (2, 5), (5, 2)]
+        batched = engine.paths_many(snap, pairs)
+        for (src, dst), path in zip(pairs, batched):
+            assert path == engine.path(snap, src, dst)
+
+    def test_paths_many_empty(self, small_network, engine):
+        assert engine.paths_many(small_network.snapshot(0.0), []) == []
+
+
 class TestPairQueries:
     def test_path_endpoints(self, small_network, engine):
         snap = small_network.snapshot(0.0)
@@ -108,6 +191,16 @@ class TestPairQueries:
                 weight="distance_m")
             actual = engine.pair_distance_m(snap, src, dst)
             assert actual == pytest.approx(expected, rel=1e-9)
+
+    def test_same_gid_distance_is_zero(self, small_network, engine):
+        """Regression: a station is at distance 0 from itself; the old
+        code returned an uplink-based value inconsistent with
+        ``distances_to``."""
+        snap = small_network.snapshot(0.0)
+        assert engine.pair_distance_m(snap, 2, 2) == 0.0
+        assert engine.pair_rtt_s(snap, 2, 2) == 0.0
+        distances = engine.distances_to(snap, 2, [0, 2, 4])
+        assert distances[1] == 0.0
 
     def test_rtt_is_distance_at_lightspeed(self, small_network, engine):
         snap = small_network.snapshot(0.0)

@@ -171,6 +171,28 @@ class TestPacketDelivery:
             sim.gid_of_node(0)
 
 
+class TestRateOverrideValidation:
+    def test_bad_isl_override_rejected(self, small_network):
+        with pytest.raises(ValueError):
+            PacketSimulator(small_network,
+                            isl_rate_overrides={(0, 99999): 1e6})
+
+    def test_bad_gsl_override_rejected(self, small_network):
+        """Regression: a typo'd node id used to be silently ignored while
+        the ISL equivalent raised."""
+        with pytest.raises(ValueError):
+            PacketSimulator(small_network,
+                            gsl_rate_overrides={small_network.num_nodes: 1e6})
+        with pytest.raises(ValueError):
+            PacketSimulator(small_network, gsl_rate_overrides={-1: 1e6})
+
+    def test_valid_gsl_override_applied(self, small_network):
+        node = small_network.gs_node_id(0)
+        sim = PacketSimulator(small_network,
+                              gsl_rate_overrides={node: 123_456.0})
+        assert sim.gsl_device(node).rate_bps == 123_456.0
+
+
 class TestDropAccounting:
     def test_no_route_drop_when_disconnected(self, small_constellation,
                                              small_stations):
@@ -190,6 +212,19 @@ class TestDropAccounting:
         assert sim.stats.packets_dropped_no_route == 1
         assert sim.stats.packets_delivered == 0
 
+    def test_no_handler_drop_counted(self, small_network):
+        """Regression: a packet reaching its destination with no handler
+        used to vanish from every counter."""
+        sim = PacketSimulator(small_network)
+        sim.register_handler(sim.gs_node_id(3), 1, lambda p: None)
+        sim.scheduler.schedule_at(0.0, lambda: sim.send(
+            Packet(999, sim.gs_node_id(0), sim.gs_node_id(3),
+                   size_bytes=100)))
+        sim.run(1.0)
+        assert sim.stats.packets_delivered == 0
+        assert sim.stats.packets_dropped_no_handler == 1
+        assert sim.stats.packets_dropped == 1
+
     def test_ttl_guard(self, small_network):
         """A packet whose hop budget is exhausted is dropped, not looped
         forever (protects against transient forwarding inconsistency)."""
@@ -202,3 +237,31 @@ class TestDropAccounting:
         sim.scheduler.schedule_at(0.0, lambda: sim.send(packet))
         sim.run(1.0)
         assert sim.stats.packets_dropped_ttl == 1
+
+
+class TestPerfAccounting:
+    def test_perf_summary_populated_by_run(self, small_network):
+        sim = PacketSimulator(small_network)
+        sim.register_handler(sim.gs_node_id(3), 1, lambda p: None)
+        sim.scheduler.schedule_at(0.0, lambda: sim.send(
+            Packet(1, sim.gs_node_id(0), sim.gs_node_id(3),
+                   size_bytes=100)))
+        sim.run(1.0)
+        summary = sim.stats.perf_summary()
+        assert summary["wall_time_s"] > 0.0
+        assert summary["events_processed"] == \
+            sim.scheduler.events_processed > 0
+        assert summary["events_per_wall_s"] > 0.0
+        # ~10 forwarding updates over 1 s at 0.1 s granularity (float
+        # accumulation may squeeze in one more just below the horizon),
+        # one registered destination, one batched dijkstra each.
+        assert summary["trees_computed"] in (10, 11)
+        assert summary["dijkstra_calls"] == summary["trees_computed"]
+        assert summary["routing_compute_s"] > 0.0
+
+    def test_routing_counters_shared_with_engine(self, small_network):
+        sim = PacketSimulator(small_network)
+        sim.register_handler(sim.gs_node_id(2), 7, lambda p: None)
+        sim.run(0.05)
+        assert sim.stats.routing.trees_computed >= 1
+        assert sim.stats.routing.csr_rebuilds_avoided >= 0
