@@ -4,9 +4,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test smoke bench bench-fig2 clean
+.PHONY: check test smoke bench bench-fig2 bench-obs clean
 
-check: test smoke
+check: test smoke bench-obs
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,6 +20,11 @@ smoke:
 # Full per-figure benchmark harness (writes results/*.txt).
 bench:
 	$(PYTHON) -m pytest benchmarks -q -o testpaths=
+
+# Observability overhead smoke: fails if disabled-tracer instrumentation
+# costs more than 10% of the per-event budget.
+bench-obs:
+	$(PYTHON) -m pytest benchmarks/test_obs_overhead.py -q -o testpaths=
 
 # The scalability benches touched by the batched routing path.
 bench-fig2:

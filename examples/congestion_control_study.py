@@ -6,12 +6,19 @@ network — from Rio de Janeiro to St. Petersburg over Kuiper K1, across a
 window containing a path-change RTT step.  Prints the per-phase behavior
 that makes both congestion signals unreliable on LEO paths.
 
+Everything printed comes from the observability layer: per-packet RTT
+and cwnd from the structured trace (``flow.rtt`` / ``flow.cwnd`` events),
+throughput from the probe-sampled per-link series — no private simulator
+plumbing.
+
 Run:  python examples/congestion_control_study.py
 """
 
 import numpy as np
 
 from repro import Hypatia
+from repro.obs import (FLOW_CWND, FLOW_RTT, PKT_DROP, MetricsRegistry,
+                       RingBufferTracer, TraceFilter)
 from repro.simulation.simulator import LinkConfig, PacketSimulator
 from repro.transport.tcp import TcpNewRenoFlow
 from repro.transport.vegas import TcpVegasFlow
@@ -22,18 +29,28 @@ QUEUE = 100
 
 
 def run_flow(hypatia, pair, factory):
+    tracer = RingBufferTracer(
+        capacity=200_000,
+        trace_filter=TraceFilter(kinds={FLOW_RTT, FLOW_CWND, PKT_DROP}))
     sim = PacketSimulator(
         hypatia.network,
         LinkConfig(isl_rate_bps=RATE_BPS, gsl_rate_bps=RATE_BPS,
-                   isl_queue_packets=QUEUE, gsl_queue_packets=QUEUE))
+                   isl_queue_packets=QUEUE, gsl_queue_packets=QUEUE),
+        tracer=tracer)
+    registry = MetricsRegistry()
+    sim.attach_probe(registry=registry, interval_s=1.0)
     flow = factory(pair[0], pair[1]).install(sim)
     sim.run(DURATION_S)
-    return flow
+    return flow, tracer, registry
 
 
-def describe(label, flow):
-    _, rtt = flow.rtt_log.as_arrays()
-    series = flow.throughput_series_bps() / 1e6
+def describe(label, flow, tracer, registry):
+    rtt = np.array([e.value for e in tracer.events_of(FLOW_RTT)])
+    # The probe sampled every active device's throughput once per
+    # simulated second; the busiest GSL device is the flow's bottleneck.
+    gsl = registry.series_names(prefix="link.gsl-", suffix=".throughput_bps")
+    busiest = max(gsl, key=lambda n: sum(registry.series_logs[n].values))
+    series = np.array(registry.series_logs[busiest].values) / 1e6
     half = len(series) // 2
     print(f"\n=== {label} ===")
     print(f"per-packet RTT: min {rtt.min() * 1000:.1f} ms, "
@@ -41,9 +58,10 @@ def describe(label, flow):
           f"max {rtt.max() * 1000:.1f} ms")
     print(f"throughput: {series[:half].mean():.2f} Mbit/s before the path "
           f"change, {series[half:].mean():.2f} Mbit/s after")
+    drops = tracer.counts.get(PKT_DROP, 0)
     print(f"loss-recovery events: {flow.fast_retransmits} fast rtx, "
           f"{flow.timeouts} timeouts; reordered arrivals: "
-          f"{flow.reordered_arrivals}")
+          f"{flow.reordered_arrivals}; traced drops: {drops}")
 
 
 def main() -> None:
@@ -59,10 +77,10 @@ def main() -> None:
     print(f"  t=0s: {rtts[0]:.1f} ms ... t=25s: {rtts[25]:.1f} ms ... "
           f"t=30s: {rtts[30]:.1f} ms (the path-change step)")
 
-    newreno = run_flow(hypatia, pair, TcpNewRenoFlow)
-    vegas = run_flow(hypatia, pair, TcpVegasFlow)
-    describe("TCP NewReno (loss-based)", newreno)
-    describe("TCP Vegas (delay-based)", vegas)
+    describe("TCP NewReno (loss-based)",
+             *run_flow(hypatia, pair, TcpNewRenoFlow))
+    describe("TCP Vegas (delay-based)",
+             *run_flow(hypatia, pair, TcpVegasFlow))
 
     print("\nTakeaway (paper §4.2): NewReno fills the buffer — its RTT "
           "rides ~a full queue above the path RTT — and reordering at "

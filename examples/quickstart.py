@@ -12,6 +12,7 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro import Hypatia
+from repro.obs import RingBufferTracer
 from repro.simulation.simulator import LinkConfig, PacketSimulator
 from repro.transport.ping import PingSession
 
@@ -33,7 +34,8 @@ def main() -> None:
 
     print("\nRunning a 5 s packet-level ping (10 ms interval)...")
     sim = PacketSimulator(hypatia.network,
-                          LinkConfig(isl_rate_bps=1e9, gsl_rate_bps=1e9))
+                          LinkConfig(isl_rate_bps=1e9, gsl_rate_bps=1e9),
+                          tracer=RingBufferTracer())
     ping = PingSession(src, dst, interval_s=0.01).install(sim)
     sim.run(5.0)
     _, rtts = ping.answered()
@@ -42,6 +44,10 @@ def main() -> None:
           f"(median {np.median(rtts) * 1000:.2f} ms)")
     print(f"  geometry says {rtt * 1000:.2f} ms — the packet simulator and "
           f"the snapshot computation agree.")
+
+    # Every run can summarize itself (same output as `repro report`).
+    print("\nRun report:")
+    print(sim.report().describe())
 
 
 if __name__ == "__main__":

@@ -6,7 +6,9 @@ Writes, into ./viz_output/:
 * ``k1.czml`` — Kuiper K1 trajectories as a Cesium CZML document;
 * ``st_petersburg_sky.json`` — the ground observer's sky view (Fig. 12);
 * ``utilization_map.json`` — per-ISL load segments under the permutation
-  traffic matrix (Figs. 14-15), with the hotspot summary.
+  traffic matrix (Figs. 14-15), with the hotspot summary;
+* ``packet_utilization_map.json`` — the same map rendered straight from
+  a packet-simulator probe's sampled ``link.*.utilization`` series.
 
 Run:  python examples/visualization_export.py
 """
@@ -17,9 +19,12 @@ from pathlib import Path
 
 from repro import Hypatia, random_permutation_pairs
 from repro.fluid.engine import FluidFlow, FluidSimulation
+from repro.obs import MetricsRegistry
+from repro.transport.udp import UdpFlow
 from repro.viz.czml import constellation_czml, write_czml
 from repro.viz.ground_view import sky_snapshot
-from repro.viz.utilization_map import hotspot_summary, utilization_map
+from repro.viz.utilization_map import (hotspot_summary, utilization_map,
+                                       utilization_map_from_registry)
 
 OUTPUT = Path("viz_output")
 
@@ -28,12 +33,12 @@ def main() -> None:
     OUTPUT.mkdir(exist_ok=True)
     hypatia = Hypatia.from_shell_name("K1", num_cities=100)
 
-    print("1/3 trajectories -> k1.czml")
+    print("1/4 trajectories -> k1.czml")
     document = constellation_czml(hypatia.constellation, duration_s=300.0,
                                   step_s=30.0)
     write_czml(document, str(OUTPUT / "k1.czml"))
 
-    print("2/3 ground observer view -> st_petersburg_sky.json")
+    print("2/4 ground observer view -> st_petersburg_sky.json")
     station = hypatia.ground_stations[hypatia.gid("Saint Petersburg")]
     frames = [
         sky_snapshot(hypatia.constellation, station,
@@ -43,7 +48,7 @@ def main() -> None:
     (OUTPUT / "st_petersburg_sky.json").write_text(
         json.dumps(frames, indent=1))
 
-    print("3/3 link utilization -> utilization_map.json")
+    print("3/4 link utilization -> utilization_map.json")
     flows = [FluidFlow(src, dst)
              for src, dst in random_permutation_pairs(100)]
     sim = FluidSimulation(hypatia.network, flows, link_capacity_bps=10e6)
@@ -60,6 +65,24 @@ def main() -> None:
           + (f", centered at ({summary['hot_center_lat_deg']:.0f}, "
                f"{summary['hot_center_lon_deg']:.0f})"
                if "hot_center_lat_deg" in summary else ""))
+
+    print("4/4 packet-sampled utilization -> packet_utilization_map.json")
+    # A short packet-level run: ten UDP flows at line rate, with a probe
+    # sampling every device's utilization each simulated second.  The map
+    # is rendered directly from the registry's sampled series.
+    sim = hypatia.build_packet_simulator()
+    registry = MetricsRegistry()
+    sim.attach_probe(registry=registry, interval_s=1.0)
+    for src, dst in random_permutation_pairs(100)[:10]:
+        UdpFlow(src, dst, rate_bps=10e6).install(sim)
+    sim.run(2.0)
+    packet_segments = utilization_map_from_registry(
+        hypatia.constellation, registry, time_s=2.0)
+    (OUTPUT / "packet_utilization_map.json").write_text(json.dumps({
+        "summary": hotspot_summary(packet_segments),
+        "segments": [asdict(segment) for segment in packet_segments],
+    }, indent=1))
+    print(f"   {len(packet_segments)} ISLs sampled busy by the probe")
     print(f"\nWrote {len(list(OUTPUT.iterdir()))} files to {OUTPUT}/")
 
 

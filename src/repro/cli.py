@@ -10,6 +10,7 @@ Usage (installed as ``python -m repro``):
    python -m repro tles K1 -o k1.tle        # write 3LE file
    python -m repro czml K1 -o k1.czml       # write Cesium document
    python -m repro sky K1 "Saint Petersburg"  # sky view snapshot
+   python -m repro report K1 Manila Dalian -o run.json --trace run.jsonl
 """
 
 from __future__ import annotations
@@ -55,6 +56,23 @@ def build_parser() -> argparse.ArgumentParser:
     sky.add_argument("shell")
     sky.add_argument("city")
     sky.add_argument("--time", type=float, default=0.0)
+
+    report = sub.add_parser(
+        "report", help="run a small scenario and dump its RunReport")
+    report.add_argument("shell")
+    report.add_argument("src_city")
+    report.add_argument("dst_city")
+    report.add_argument("--engine", choices=("packet", "aimd", "maxmin"),
+                        default="packet",
+                        help="packet simulator (default) or a fluid engine")
+    report.add_argument("--duration", type=float, default=10.0)
+    report.add_argument("--step", type=float, default=1.0,
+                        help="probe/snapshot interval (seconds)")
+    report.add_argument("-o", "--output", default=None,
+                        help="write the full report JSON here")
+    report.add_argument("--trace", default=None,
+                        help="write the JSONL event trace here "
+                             "(packet engine only)")
     return parser
 
 
@@ -143,12 +161,51 @@ def _cmd_sky(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from .core.hypatia import Hypatia
+    from .fluid.engine import FluidFlow
+    from .obs import MetricsRegistry, RingBufferTracer
+    from .transport.tcp import TcpNewRenoFlow
+    hypatia = Hypatia.from_shell_name(args.shell, num_cities=100)
+    src_gid, dst_gid = hypatia.pair(args.src_city, args.dst_city)
+
+    if args.engine == "packet":
+        tracer = RingBufferTracer()
+        sim = hypatia.build_packet_simulator(tracer=tracer)
+        registry = MetricsRegistry()
+        sim.attach_probe(registry=registry, interval_s=args.step)
+        TcpNewRenoFlow(src_gid, dst_gid).install(sim)
+        sim.run(args.duration)
+        report = sim.report(registry=registry)
+        if args.trace:
+            tracer.to_jsonl(args.trace)
+            print(f"wrote {tracer.summary()['retained']} trace events "
+                  f"to {args.trace}")
+    else:
+        if args.trace:
+            print("note: --trace applies to the packet engine only",
+                  file=sys.stderr)
+        registry = MetricsRegistry()
+        fluid = hypatia.build_fluid_simulation(
+            [FluidFlow(src_gid, dst_gid)], mode=args.engine,
+            metrics=registry)
+        result = fluid.run(args.duration, step_s=args.step)
+        report = result.report(registry=registry)
+
+    print(report.describe())
+    if args.output:
+        report.to_json(args.output)
+        print(f"wrote report to {args.output}")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "rtt": _cmd_rtt,
     "tles": _cmd_tles,
     "czml": _cmd_czml,
     "sky": _cmd_sky,
+    "report": _cmd_report,
 }
 
 

@@ -28,6 +28,8 @@ from ..constellations.definitions import ALL_SHELLS, shell_by_name
 from ..fluid.aimd import AimdFluidSimulation
 from ..fluid.engine import FluidFlow, FluidSimulation
 from ..ground.stations import GroundStation, ground_stations_from_cities
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from ..orbits.shell import Shell
 from ..routing.engine import RoutingEngine
 from ..simulation.simulator import LinkConfig, PacketSimulator
@@ -148,15 +150,25 @@ class Hypatia:
 
     def build_packet_simulator(self, link_config: Optional[LinkConfig] = None,
                                forwarding_interval_s: float = 0.1,
+                               tracer: Optional["Tracer"] = None,
                                ) -> PacketSimulator:
-        """A packet-level simulator over this network."""
+        """A packet-level simulator over this network.
+
+        Args:
+            link_config: Device rates/queues (paper defaults if omitted).
+            forwarding_interval_s: Forwarding-state refresh period.
+            tracer: Optional :class:`repro.obs.Tracer` receiving the
+                run's structured trace events.
+        """
         return PacketSimulator(self.network, link_config=link_config,
-                               forwarding_interval_s=forwarding_interval_s)
+                               forwarding_interval_s=forwarding_interval_s,
+                               tracer=tracer)
 
     def build_fluid_simulation(self, flows: Sequence[FluidFlow],
                                link_capacity_bps: float = 10_000_000.0,
                                mode: str = "aimd",
-                               freeze_topology_at_s: Optional[float] = None):
+                               freeze_topology_at_s: Optional[float] = None,
+                               metrics: Optional["MetricsRegistry"] = None):
         """A fluid traffic engine over this network.
 
         Args:
@@ -165,15 +177,16 @@ class Hypatia:
             mode: ``"aimd"`` (TCP-like dynamics, default) or ``"maxmin"``
                 (instant fair-share equilibrium).
             freeze_topology_at_s: Static-network baseline time, if any.
+            metrics: Optional registry receiving per-snapshot series.
         """
         if mode == "aimd":
             return AimdFluidSimulation(
                 self.network, flows, link_capacity_bps=link_capacity_bps,
-                freeze_topology_at_s=freeze_topology_at_s)
+                freeze_topology_at_s=freeze_topology_at_s, metrics=metrics)
         if mode == "maxmin":
             return FluidSimulation(
                 self.network, flows, link_capacity_bps=link_capacity_bps,
-                freeze_topology_at_s=freeze_topology_at_s)
+                freeze_topology_at_s=freeze_topology_at_s, metrics=metrics)
         raise ValueError(f"unknown fluid mode {mode!r}; "
                          f"use 'aimd' or 'maxmin'")
 

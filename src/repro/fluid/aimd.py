@@ -32,10 +32,12 @@ lockstep halving a perfectly symmetric fluid model would produce.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
 from ..routing.engine import RoutingEngine
 from ..topology.dynamic_state import snapshot_times
 from ..topology.network import LeoNetwork
@@ -56,14 +58,19 @@ class AimdFluidSimulation:
         mss_bytes: Segment size for the additive-increase slope.
         freeze_topology_at_s: If set, routes are frozen at this time — the
             "static network" baseline (gray line of Fig. 10).
+        metrics: Optional registry; when given, the run records the same
+            per-snapshot series as :class:`~repro.fluid.engine.FluidSimulation`.
     """
+
+    ENGINE = "aimd"
 
     def __init__(self, network: LeoNetwork, flows: Sequence[FluidFlow],
                  link_capacity_bps: float = 10_000_000.0,
                  rtt_estimate_s: float = 0.1,
                  mss_bytes: int = 1500,
                  queue_packets: int = 100,
-                 freeze_topology_at_s: Optional[float] = None) -> None:
+                 freeze_topology_at_s: Optional[float] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if not flows:
             raise ValueError("need at least one flow")
         if link_capacity_bps <= 0.0 or rtt_estimate_s <= 0.0:
@@ -77,6 +84,7 @@ class AimdFluidSimulation:
         self.mss_bytes = mss_bytes
         self.queue_bits = queue_packets * mss_bytes * 8.0
         self.freeze_topology_at_s = freeze_topology_at_s
+        self.metrics = metrics
         self._engine = RoutingEngine(network)
         self._num_sats = network.num_satellites
         from ..simulation.positions import PositionService
@@ -94,6 +102,7 @@ class AimdFluidSimulation:
 
     def run(self, duration_s: float, step_s: float = 1.0) -> FluidResult:
         """Simulate ``duration_s`` at ``step_s`` granularity."""
+        wall_start = time.perf_counter()
         times = snapshot_times(duration_s, step_s)
         num_flows = len(self.flows)
         # Start every flow at its fair-share guess: capacity split by a
@@ -215,9 +224,24 @@ class AimdFluidSimulation:
             out_rates[t_index] = recorded
             all_paths.append(list(paths))
             all_loads.append(utilization)
+            registry = self.metrics
+            if registry is not None:
+                connected = int((recorded > 0.0).sum())
+                registry.series("fluid.connected_flows").append(
+                    float(time_s), connected)
+                registry.series("fluid.mean_rate_bps").append(
+                    float(time_s),
+                    float(recorded.mean()) if recorded.size else 0.0)
+                peak = max(utilization.values()) if utilization else 0.0
+                registry.series("fluid.peak_utilization").append(
+                    float(time_s), peak / capacity)
 
+        wall = time.perf_counter() - wall_start
         return FluidResult(times_s=times, flow_rates_bps=out_rates,
                            flow_paths=all_paths,
                            device_load_bps=all_loads,
                            num_satellites=self._num_sats,
-                           link_capacity_bps=self.link_capacity_bps)
+                           link_capacity_bps=self.link_capacity_bps,
+                           engine=self.ENGINE,
+                           perf={"wall_time_s": wall,
+                                 "snapshots_computed": float(len(times))})

@@ -21,11 +21,14 @@ checks the two engines agree on small scenarios.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.report import RunReport, fluid_run_report
 from ..routing.engine import RoutingEngine
 from ..topology.dynamic_state import snapshot_times
 from ..topology.network import LeoNetwork, TopologySnapshot
@@ -84,6 +87,9 @@ class FluidResult:
         device_load_bps: per snapshot, mapping device-key -> allocated load.
         num_satellites: Node-numbering split point (satellites below it).
         link_capacity_bps: The uniform device capacity of the run.
+        engine: Which engine produced the result ("maxmin" or "aimd").
+        perf: Wall-clock accounting of the run (wall_time_s,
+            snapshots_computed), filled by the engines.
     """
 
     times_s: np.ndarray
@@ -92,6 +98,36 @@ class FluidResult:
     device_load_bps: List[Dict[Hashable, float]]
     num_satellites: int
     link_capacity_bps: float
+    engine: str = "maxmin"
+    perf: Dict[str, float] = field(default_factory=dict)
+
+    def perf_summary(self) -> Dict[str, float]:
+        """Flat performance/accounting summary (report-facing) — the
+        fluid counterpart of :meth:`SimulationStats.perf_summary`."""
+        num_snapshots = len(self.times_s)
+        rates = self.flow_rates_bps
+        connected = (rates > 0.0).any(axis=0).sum() if rates.size else 0
+        summary: Dict[str, float] = {
+            "snapshots": float(num_snapshots),
+            "flows": float(rates.shape[1]) if rates.ndim == 2 else 0.0,
+            "flows_ever_connected": float(connected),
+            "mean_rate_bps": float(rates.mean()) if rates.size else 0.0,
+            "link_capacity_bps": self.link_capacity_bps,
+        }
+        if self.device_load_bps:
+            peak = max((max(loads.values()) if loads else 0.0)
+                       for loads in self.device_load_bps)
+            summary["peak_utilization"] = peak / self.link_capacity_bps
+        summary.update(self.perf)
+        wall = self.perf.get("wall_time_s", 0.0)
+        if wall > 0.0:
+            summary["snapshots_per_wall_s"] = num_snapshots / wall
+        return summary
+
+    def report(self, registry: Optional[MetricsRegistry] = None
+               ) -> RunReport:
+        """The unified run report of this fluid run."""
+        return fluid_run_report(self, registry=registry)
 
     def unused_bandwidth_bps(self, flow_index: int) -> np.ndarray:
         """Paper Fig. 10's metric for one flow's path over time.
@@ -134,13 +170,19 @@ class FluidSimulation:
         freeze_topology_at_s: If not None, routes and geometry are frozen
             at this time — the "static network" baseline (gray line of
             Fig. 10).
+        metrics: Optional registry; when given, the run records the
+            per-snapshot series ``fluid.connected_flows``,
+            ``fluid.mean_rate_bps`` and ``fluid.peak_utilization``.
     """
+
+    ENGINE = "maxmin"
 
     def __init__(self, network: LeoNetwork, flows: Sequence[FluidFlow],
                  link_capacity_bps: float = 10_000_000.0,
                  freeze_topology_at_s: Optional[float] = None,
                  capacity_overrides: Optional[
-                     Dict[Hashable, float]] = None) -> None:
+                     Dict[Hashable, float]] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if not flows:
             raise ValueError("need at least one flow")
         if link_capacity_bps <= 0.0:
@@ -156,6 +198,7 @@ class FluidSimulation:
         for capacity in self.capacity_overrides.values():
             if capacity <= 0.0:
                 raise ValueError("override capacities must be positive")
+        self.metrics = metrics
         self._engine = RoutingEngine(network)
         self._num_sats = network.num_satellites
 
@@ -169,6 +212,7 @@ class FluidSimulation:
 
     def run(self, duration_s: float, step_s: float = 1.0) -> FluidResult:
         """Simulate ``duration_s`` at ``step_s`` granularity."""
+        wall_start = time.perf_counter()
         times = snapshot_times(duration_s, step_s)
         num_flows = len(self.flows)
         rates = np.zeros((len(times), num_flows))
@@ -212,9 +256,27 @@ class FluidSimulation:
                 rates[t_index, i] = allocated[local_index]
             all_paths.append(list(paths))
             all_loads.append(loads)
+            self._record_metrics(float(time_s), rates[t_index], loads)
 
+        wall = time.perf_counter() - wall_start
         return FluidResult(times_s=times, flow_rates_bps=rates,
                            flow_paths=all_paths,
                            device_load_bps=all_loads,
                            num_satellites=self._num_sats,
-                           link_capacity_bps=self.link_capacity_bps)
+                           link_capacity_bps=self.link_capacity_bps,
+                           engine=self.ENGINE,
+                           perf={"wall_time_s": wall,
+                                 "snapshots_computed": float(len(times))})
+
+    def _record_metrics(self, time_s: float, rates_row: np.ndarray,
+                        loads: Dict[Hashable, float]) -> None:
+        registry = self.metrics
+        if registry is None:
+            return
+        connected = int((rates_row > 0.0).sum())
+        registry.series("fluid.connected_flows").append(time_s, connected)
+        registry.series("fluid.mean_rate_bps").append(
+            time_s, float(rates_row.mean()) if rates_row.size else 0.0)
+        peak = max(loads.values()) if loads else 0.0
+        registry.series("fluid.peak_utilization").append(
+            time_s, peak / self.link_capacity_bps)

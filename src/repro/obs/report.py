@@ -1,0 +1,120 @@
+"""Run reports: one object unifying packet and fluid run summaries.
+
+A :class:`RunReport` wraps what a run produced — performance summary,
+packet/flow accounting, optional metrics-registry contents, optional
+trace summary — behind one JSON-exportable shape.  ``repro report`` (the
+CLI) is a thin wrapper over these builders; benchmarks compare runs by
+diffing the ``summary`` sections.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from .metrics import MetricsRegistry
+from .trace import RingBufferTracer, Tracer
+
+if TYPE_CHECKING:  # runtime-import-free: obs must not depend on the layers
+    from ..fluid.engine import FluidResult
+    from ..simulation.simulator import PacketSimulator
+
+__all__ = ["RunReport", "packet_run_report", "fluid_run_report"]
+
+#: Report schema version (bump on breaking shape changes).
+REPORT_VERSION = 1
+
+
+@dataclass
+class RunReport:
+    """The unified result object of one simulation run.
+
+    Attributes:
+        kind: ``"packet"``, ``"fluid.maxmin"``, or ``"fluid.aimd"``.
+        duration_s: Simulated duration the report covers.
+        summary: Flat performance/accounting numbers (always present).
+        metrics: ``MetricsRegistry.as_dict()`` contents, if a registry
+            was attached to the run.
+        trace: Tracer summary (event counts), if tracing was enabled.
+    """
+
+    kind: str
+    duration_s: float
+    summary: Dict[str, Any]
+    metrics: Optional[Dict[str, Any]] = None
+    trace: Optional[Dict[str, Any]] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "report_version": REPORT_VERSION,
+            "kind": self.kind,
+            "duration_s": self.duration_s,
+            "summary": self.summary,
+        }
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        payload.update(self.extras)
+        return payload
+
+    def to_json(self, path: str, indent: Optional[int] = 1) -> None:
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(self.as_dict(), stream, indent=indent)
+            stream.write("\n")
+
+    def describe(self) -> str:
+        """A short human-readable digest (CLI output)."""
+        lines = [f"[{self.kind}] {self.duration_s:.1f}s simulated"]
+        for key, value in sorted(self.summary.items()):
+            if isinstance(value, float):
+                lines.append(f"  {key}: {value:.6g}")
+            else:
+                lines.append(f"  {key}: {value}")
+        if self.trace is not None:
+            lines.append(f"  trace: {self.trace.get('retained', 0)} events "
+                         f"retained ({self.trace.get('emitted', 0)} emitted)")
+        if self.metrics is not None:
+            series = self.metrics.get("series", {})
+            lines.append(f"  metrics: {len(series)} sampled series")
+        return "\n".join(lines)
+
+
+def packet_run_report(sim: "PacketSimulator", duration_s: float,
+                      registry: Optional[MetricsRegistry] = None,
+                      tracer: Optional[Tracer] = None,
+                      include_series: bool = True) -> RunReport:
+    """Build the report of a packet-simulator run.
+
+    Args:
+        sim: The simulator after :meth:`PacketSimulator.run`.
+        duration_s: Simulated duration covered.
+        registry: Metrics to embed (e.g. a probe's registry).
+        tracer: Tracer whose summary to embed; defaults to the
+            simulator's own when it is a summarizing tracer.
+    """
+    stats = sim.stats
+    summary: Dict[str, Any] = dict(stats.as_dict())
+    summary.update(stats.perf_summary())
+    tracer = tracer if tracer is not None else sim.tracer
+    trace_summary = (tracer.summary()
+                     if isinstance(tracer, RingBufferTracer) else None)
+    metrics = (registry.as_dict(include_series=include_series)
+               if registry is not None else None)
+    return RunReport(kind="packet", duration_s=duration_s, summary=summary,
+                     metrics=metrics, trace=trace_summary)
+
+
+def fluid_run_report(result: "FluidResult",
+                     registry: Optional[MetricsRegistry] = None,
+                     include_series: bool = True) -> RunReport:
+    """Build the report of a fluid-engine run (max-min or AIMD)."""
+    summary = result.perf_summary()
+    metrics = (registry.as_dict(include_series=include_series)
+               if registry is not None else None)
+    return RunReport(kind=f"fluid.{result.engine}",
+                     duration_s=float(result.times_s[-1])
+                     if len(result.times_s) else 0.0,
+                     summary=summary, metrics=metrics)

@@ -45,6 +45,7 @@ from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
 from ..geo.constants import SPEED_OF_LIGHT_M_PER_S
+from ..obs.trace import NULL_TRACER, ROUTING_COMPUTE, Tracer
 from ..topology.gsl import GslEdges
 from ..topology.network import LeoNetwork, TopologySnapshot
 
@@ -218,9 +219,11 @@ class RoutingEngine:
     """
 
     def __init__(self, network: LeoNetwork,
-                 perf: Optional[RoutingPerfCounters] = None) -> None:
+                 perf: Optional[RoutingPerfCounters] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.network = network
         self.perf = perf if perf is not None else RoutingPerfCounters()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._num_sats = network.num_satellites
         self._num_nodes = network.num_nodes
         self._relay_gids = [
@@ -276,9 +279,14 @@ class RoutingEngine:
         distances = np.atleast_2d(distances)
         next_hop = np.atleast_2d(predecessors).astype(np.int64)
         next_hop[next_hop < 0] = UNREACHABLE
+        elapsed = time.perf_counter() - start
         self.perf.trees_computed += len(unique_gids)
         self.perf.dijkstra_calls += 1
-        self.perf.routing_compute_s += time.perf_counter() - start
+        self.perf.routing_compute_s += elapsed
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(float(snapshot.time_s), ROUTING_COMPUTE,
+                        seq=len(unique_gids), value=elapsed)
         return MultiDestinationRouting(
             dst_gids=tuple(unique_gids),
             dst_nodes=dst_nodes,

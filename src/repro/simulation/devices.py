@@ -22,6 +22,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Optional, Tuple
 
+from ..obs.trace import (NULL_TRACER, PKT_DROP, PKT_ENQUEUE, PKT_TX_FINISH,
+                         PKT_TX_START, WARNING, Tracer)
 from .events import EventScheduler
 from .packet import Packet
 from .positions import PositionService
@@ -41,12 +43,26 @@ class DeviceStats:
         self.packets_dropped = 0
         self.busy_time_s = 0.0
 
-    def utilization(self, rate_bps: float, duration_s: float) -> float:
-        """Fraction of ``duration_s`` the transmitter was busy."""
+    def utilization(self, rate_bps: float, duration_s: float,
+                    tracer: Optional[Tracer] = None,
+                    link_name: str = "") -> float:
+        """Fraction of ``duration_s`` the transmitter was busy.
+
+        Returns the *raw* busy-time ratio.  A ratio above 1.0 means the
+        busy-time accounting and the measurement window disagree (e.g. a
+        serialization that started before the window, or an accounting
+        bug) — it is reported as-is, with a :data:`~repro.obs.trace.WARNING`
+        trace event when an enabled ``tracer`` is given, instead of being
+        silently clamped.
+        """
         if duration_s <= 0.0:
             return 0.0
         _ = rate_bps
-        return min(1.0, self.busy_time_s / duration_s)
+        ratio = self.busy_time_s / duration_s
+        if ratio > 1.0 and tracer is not None and tracer.enabled:
+            tracer.emit(duration_s, WARNING, link=link_name, value=ratio,
+                        reason="utilization_above_1")
+        return ratio
 
 
 class LinkDevice:
@@ -62,16 +78,19 @@ class LinkDevice:
         deliver: Callback ``(packet, to_node)`` invoked at the receiver after
             serialization + propagation.
         name: Diagnostic label, e.g. ``"isl-17-18"`` or ``"gsl-1203"``.
+        tracer: Trace sink for enqueue/tx/drop events; the default
+            :data:`~repro.obs.trace.NULL_TRACER` costs one attribute
+            check per event.
     """
 
     __slots__ = ("_scheduler", "_positions", "node_id", "rate_bps",
                  "queue_packets", "_deliver", "name", "_queue", "_busy",
-                 "stats")
+                 "stats", "_tracer")
 
     def __init__(self, scheduler: EventScheduler, positions: PositionService,
                  node_id: int, rate_bps: float, queue_packets: int,
                  deliver: Callable[[Packet, int], None],
-                 name: str = "") -> None:
+                 name: str = "", tracer: Optional[Tracer] = None) -> None:
         if rate_bps <= 0.0:
             raise ValueError(f"rate must be positive, got {rate_bps}")
         if queue_packets < 0:
@@ -86,6 +105,7 @@ class LinkDevice:
         self._queue: Deque[Tuple[Packet, int]] = deque()
         self._busy = False
         self.stats = DeviceStats()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     @property
     def queue_length(self) -> int:
@@ -103,12 +123,28 @@ class LinkDevice:
         Returns:
             False if the drop-tail queue was full and the packet was lost.
         """
+        tracer = self._tracer
         if self._busy:
             if len(self._queue) >= self.queue_packets:
                 self.stats.packets_dropped += 1
+                if tracer.enabled:
+                    tracer.emit(self._scheduler.now, PKT_DROP,
+                                node=self.node_id, flow=packet.flow_id,
+                                link=self.name, seq=packet.seq,
+                                value=float(len(self._queue)),
+                                reason="queue")
                 return False
             self._queue.append((packet, to_node))
+            if tracer.enabled:
+                tracer.emit(self._scheduler.now, PKT_ENQUEUE,
+                            node=self.node_id, flow=packet.flow_id,
+                            link=self.name, seq=packet.seq,
+                            value=float(len(self._queue)))
             return True
+        if tracer.enabled:
+            tracer.emit(self._scheduler.now, PKT_ENQUEUE, node=self.node_id,
+                        flow=packet.flow_id, link=self.name, seq=packet.seq,
+                        value=0.0)
         self._start_transmission(packet, to_node)
         return True
 
@@ -116,6 +152,11 @@ class LinkDevice:
         self._busy = True
         tx_time = packet.size_bytes * 8.0 / self.rate_bps
         self.stats.busy_time_s += tx_time
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(self._scheduler.now, PKT_TX_START, node=self.node_id,
+                        flow=packet.flow_id, link=self.name, seq=packet.seq,
+                        value=tx_time)
         self._scheduler.schedule(
             tx_time, lambda: self._finish_transmission(packet, to_node))
 
@@ -123,6 +164,10 @@ class LinkDevice:
         now = self._scheduler.now
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.size_bytes
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(now, PKT_TX_FINISH, node=self.node_id,
+                        flow=packet.flow_id, link=self.name, seq=packet.seq)
         # Propagation delay from live geometry at the moment the last bit
         # leaves the transmitter (paper: "latencies are correctly calculated
         # based on satellite motion").

@@ -17,6 +17,9 @@ from typing import Dict, Optional, Set, Tuple
 
 from typing import TYPE_CHECKING
 
+import numpy as np
+
+from ..obs.trace import FWD_UPDATE, NULL_TRACER, ROUTE_CHANGE, Tracer
 from ..routing.engine import (
     UNREACHABLE,
     DestinationRouting,
@@ -42,6 +45,8 @@ class ForwardingController:
             default 0.1 s).
         perf: Optional shared routing perf-counter sink (surfaced through
             ``SimulationStats`` by the packet simulator).
+        tracer: Trace sink for forwarding-state updates and route-change
+            events (default: the no-op ``NULL_TRACER``).
 
     Each update computes every registered destination's tree in a single
     batched Dijkstra (:meth:`RoutingEngine.route_to_many`).
@@ -49,14 +54,17 @@ class ForwardingController:
 
     def __init__(self, network: LeoNetwork, scheduler: EventScheduler,
                  update_interval_s: float = 0.1,
-                 perf: "Optional[RoutingPerfCounters]" = None) -> None:
+                 perf: "Optional[RoutingPerfCounters]" = None,
+                 tracer: Optional[Tracer] = None) -> None:
         if update_interval_s <= 0.0:
             raise ValueError(
                 f"update interval must be positive, got {update_interval_s}")
         self.network = network
         self.update_interval_s = update_interval_s
         self._scheduler = scheduler
-        self._engine = RoutingEngine(network, perf=perf)
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._engine = RoutingEngine(network, perf=perf,
+                                     tracer=self._tracer)
         self._destinations: Set[int] = set()
         self._routing: Dict[int, DestinationRouting] = {}
         self._multi: Optional[MultiDestinationRouting] = None
@@ -98,6 +106,8 @@ class ForwardingController:
 
     def _refresh_routing(self) -> None:
         """Recompute all destination trees against the current snapshot."""
+        tracer = self._tracer
+        old_routing = self._routing if tracer.enabled else {}
         if self._destinations:
             assert self._snapshot is not None
             self._multi = self._engine.route_to_many(
@@ -110,6 +120,18 @@ class ForwardingController:
             self._multi = None
             self._routing = {}
         self._ingress_cache.clear()
+        if tracer.enabled:
+            now = self._scheduler.now
+            tracer.emit(now, FWD_UPDATE, value=float(len(self._routing)))
+            for dst_gid, routing in self._routing.items():
+                previous = old_routing.get(dst_gid)
+                if previous is None:
+                    continue
+                changed = int(np.count_nonzero(
+                    previous.next_hop != routing.next_hop))
+                if changed:
+                    tracer.emit(now, ROUTE_CHANGE, node=routing.dst_node,
+                                seq=dst_gid, value=float(changed))
 
     # ------------------------------------------------------------------
     # Lookup API used by the packet forwarder

@@ -18,8 +18,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, Optional, Tuple
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.probes import SimulatorProbe
+from ..obs.report import RunReport, packet_run_report
+from ..obs.trace import NULL_TRACER, PKT_DELIVER, PKT_DROP, Tracer
 from ..routing.engine import RoutingPerfCounters
 from ..topology.network import LeoNetwork
 from .devices import LinkDevice
@@ -91,6 +95,18 @@ class SimulationStats:
             return 0.0
         return self.events_processed / self.wall_time_s
 
+    def as_dict(self) -> Dict[str, int]:
+        """The packet counters as a flat dict (report-facing)."""
+        return {
+            "packets_forwarded": self.packets_forwarded,
+            "packets_delivered": self.packets_delivered,
+            "packets_dropped": self.packets_dropped,
+            "packets_dropped_no_route": self.packets_dropped_no_route,
+            "packets_dropped_queue": self.packets_dropped_queue,
+            "packets_dropped_ttl": self.packets_dropped_ttl,
+            "packets_dropped_no_handler": self.packets_dropped_no_handler,
+        }
+
     def perf_summary(self) -> Dict[str, float]:
         """Flat benchmark-facing summary of the run's performance."""
         summary = {
@@ -125,7 +141,8 @@ class PacketSimulator:
                  position_quantum_s: float = 0.001,
                  isl_rate_overrides: Optional[
                      Dict[Tuple[int, int], float]] = None,
-                 gsl_rate_overrides: Optional[Dict[int, float]] = None
+                 gsl_rate_overrides: Optional[Dict[int, float]] = None,
+                 tracer: Optional[Tracer] = None
                  ) -> None:
         """See class docstring.
 
@@ -135,6 +152,11 @@ class PacketSimulator:
         paper's §7 link-capacity heterogeneity ("satellite capabilities
         may advance over time").  An undirected upgrade needs both
         directions.
+
+        ``tracer`` (default: the no-op ``NULL_TRACER``) receives the
+        structured trace events of every layer — device enqueue/tx/drop,
+        network-layer drops and deliveries, forwarding-state updates,
+        and route changes.
         """
         self.network = network
         self.config = link_config or LinkConfig()
@@ -143,9 +165,10 @@ class PacketSimulator:
         self.scheduler = EventScheduler()
         self.positions = PositionService(network, quantum_s=position_quantum_s)
         self.stats = SimulationStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.forwarding = ForwardingController(
             network, self.scheduler, update_interval_s=forwarding_interval_s,
-            perf=self.stats.routing)
+            perf=self.stats.routing, tracer=self.tracer)
         self._num_sats = network.num_satellites
         isl_pair_set = {(int(a), int(b)) for a, b in network.isl_pairs}
         isl_pair_set |= {(b, a) for a, b in isl_pair_set}
@@ -165,14 +188,15 @@ class PacketSimulator:
                 self._isl_devices[(src, dst)] = LinkDevice(
                     self.scheduler, self.positions, src,
                     rate, self.config.isl_queue_packets,
-                    self._receive, name=f"isl-{src}-{dst}")
+                    self._receive, name=f"isl-{src}-{dst}",
+                    tracer=self.tracer)
         self._gsl_devices: Dict[int, LinkDevice] = {}
         for node in range(network.num_nodes):
             rate = gsl_rate_overrides.get(node, self.config.gsl_rate_bps)
             self._gsl_devices[node] = LinkDevice(
                 self.scheduler, self.positions, node,
                 rate, self.config.gsl_queue_packets,
-                self._receive, name=f"gsl-{node}")
+                self._receive, name=f"gsl-{node}", tracer=self.tracer)
         # (node_id, flow_id) -> packet handler of the application endpoint.
         self._handlers: Dict[Tuple[int, int], Callable[[Packet], None]] = {}
         self._started = False
@@ -230,6 +254,37 @@ class PacketSimulator:
         """The shared GSL device of a node (for stats inspection)."""
         return self._gsl_devices[node_id]
 
+    def iter_devices(self) -> Iterator[LinkDevice]:
+        """All devices (ISL directions first, then GSLs)."""
+        yield from self._isl_devices.values()
+        yield from self._gsl_devices.values()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def attach_probe(self, registry: Optional[MetricsRegistry] = None,
+                     interval_s: float = 1.0,
+                     links: Optional[Iterable[str]] = None,
+                     active_only: bool = True) -> SimulatorProbe:
+        """Start a periodic metrics probe on this simulation's clock.
+
+        Records per-link queue depth / utilization / throughput and
+        scheduler event-rate series into ``registry`` every
+        ``interval_s`` simulated seconds; see
+        :class:`repro.obs.probes.SimulatorProbe`.
+        """
+        return SimulatorProbe(self, registry=registry, interval_s=interval_s,
+                              links=links, active_only=active_only).start()
+
+    def report(self, duration_s: Optional[float] = None,
+               registry: Optional[MetricsRegistry] = None,
+               include_series: bool = True) -> RunReport:
+        """The unified run report (stats + optional metrics + trace)."""
+        return packet_run_report(
+            self, duration_s if duration_s is not None else self.now,
+            registry=registry, include_series=include_series)
+
     # ------------------------------------------------------------------
     # Forwarding plane
     # ------------------------------------------------------------------
@@ -237,6 +292,11 @@ class PacketSimulator:
     def _forward(self, node: int, packet: Packet) -> None:
         if packet.hops >= MAX_HOPS:
             self.stats.packets_dropped_ttl += 1
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.emit(self.scheduler.now, PKT_DROP, node=node,
+                            flow=packet.flow_id, seq=packet.seq,
+                            reason="ttl")
             return
         packet.hops += 1
         dst_gid = packet.dst_node - self._num_sats
@@ -247,6 +307,11 @@ class PacketSimulator:
             next_hop = self.forwarding.next_hop_from_satellite(node, dst_gid)
         if next_hop is None:
             self.stats.packets_dropped_no_route += 1
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.emit(self.scheduler.now, PKT_DROP, node=node,
+                            flow=packet.flow_id, seq=packet.seq,
+                            reason="no_route")
             return
         device = self._device_for(node, next_hop)
         self.stats.packets_forwarded += 1
@@ -263,11 +328,20 @@ class PacketSimulator:
             handler = self._handlers.get((node, packet.flow_id))
             if handler is not None:
                 self.stats.packets_delivered += 1
+                tracer = self.tracer
+                if tracer.enabled:
+                    tracer.emit(self.scheduler.now, PKT_DELIVER, node=node,
+                                flow=packet.flow_id, seq=packet.seq)
                 handler(packet)
             else:
                 # The packet reached its destination but no application
                 # claims the flow; count it so no packet ever vanishes
                 # from the accounting.
                 self.stats.packets_dropped_no_handler += 1
+                tracer = self.tracer
+                if tracer.enabled:
+                    tracer.emit(self.scheduler.now, PKT_DROP, node=node,
+                                flow=packet.flow_id, seq=packet.seq,
+                                reason="no_handler")
             return
         self._forward(node, packet)

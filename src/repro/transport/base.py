@@ -10,8 +10,10 @@ experiments of paper §5.4 run one TCP flow per GS pair).
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Tuple
+from typing import Optional
 
+from ..obs.metrics import TimeSeriesLog
+from ..obs.trace import NULL_TRACER, Tracer
 from ..simulation.simulator import PacketSimulator
 
 __all__ = ["Application", "allocate_flow_id", "TimeSeriesLog"]
@@ -24,37 +26,6 @@ def allocate_flow_id() -> int:
     return next(_flow_ids)
 
 
-class TimeSeriesLog:
-    """An append-only (time, value) log with numpy export.
-
-    Used for congestion windows, RTT samples, and rate measurements.
-    """
-
-    def __init__(self) -> None:
-        self._times: List[float] = []
-        self._values: List[float] = []
-
-    def append(self, time_s: float, value: float) -> None:
-        self._times.append(time_s)
-        self._values.append(value)
-
-    def __len__(self) -> int:
-        return len(self._times)
-
-    @property
-    def times_s(self) -> List[float]:
-        return self._times
-
-    @property
-    def values(self) -> List[float]:
-        return self._values
-
-    def as_arrays(self) -> Tuple["np.ndarray", "np.ndarray"]:
-        """The log as ``(times, values)`` numpy arrays."""
-        import numpy as np
-        return np.asarray(self._times), np.asarray(self._values)
-
-
 class Application:
     """Base class of simulated applications.
 
@@ -64,17 +35,22 @@ class Application:
     Attributes:
         sim: The simulator, set by :meth:`install`.
         flow_id: This application's flow id.
+        _tracer: The simulator's tracer after installation (the no-op
+            ``NULL_TRACER`` before); transports guard flow-level events
+            (cwnd, RTT, congestion-control state) behind its ``enabled``.
     """
 
     def __init__(self, flow_id: Optional[int] = None) -> None:
         self.flow_id = flow_id if flow_id is not None else allocate_flow_id()
         self.sim: Optional[PacketSimulator] = None
+        self._tracer: Tracer = NULL_TRACER
 
     def install(self, sim: PacketSimulator) -> "Application":
         """Attach to a simulator; returns self for chaining."""
         if self.sim is not None:
             raise RuntimeError("application is already installed")
         self.sim = sim
+        self._tracer = sim.tracer
         self._install(sim)
         return self
 

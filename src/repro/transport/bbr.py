@@ -28,6 +28,7 @@ import math
 from collections import deque
 from typing import Deque, Optional, Tuple
 
+from ..obs.trace import FLOW_STATE
 from ..simulation.simulator import PacketSimulator
 from .tcp import TcpNewRenoFlow
 
@@ -126,10 +127,10 @@ class TcpBbrFlow(TcpNewRenoFlow):
             else:
                 self._full_bw_rounds += 1
                 if self._full_bw_rounds >= 3:
-                    self._mode = "drain"
+                    self._set_mode("drain")
         elif self._mode == "drain":
             if self.flight_size <= self._bdp_packets():
-                self._mode = "probe_bw"
+                self._set_mode("probe_bw")
                 self._cycle_index = 0
                 self._cycle_started_s = now
         elif self._mode == "probe_bw":
@@ -137,6 +138,15 @@ class TcpBbrFlow(TcpNewRenoFlow):
                 self._cycle_index = (self._cycle_index + 1) \
                     % len(PROBE_BW_GAINS)
                 self._cycle_started_s = now
+
+    def _set_mode(self, mode: str) -> None:
+        """Transition the BBR state machine, tracing the change."""
+        self._mode = mode
+        tracer = self._tracer
+        if tracer.enabled:
+            assert self.sim is not None
+            tracer.emit(self.sim.now, FLOW_STATE, flow=self.flow_id,
+                        value=self.btl_bw_bps, reason=f"bbr_{mode}")
 
     def _pacing_gain(self) -> float:
         if self._mode == "startup":

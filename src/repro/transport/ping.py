@@ -13,6 +13,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.trace import FLOW_RTT
 from ..simulation.packet import Packet
 from ..simulation.simulator import PacketSimulator
 from .base import Application
@@ -88,7 +89,12 @@ class PingSession(Application):
 
     def _on_pong(self, packet: Packet) -> None:
         assert self.sim is not None
-        self._rtts[packet.seq] = self.sim.now - packet.ts_echo
+        rtt = self.sim.now - packet.ts_echo
+        self._rtts[packet.seq] = rtt
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(self.sim.now, FLOW_RTT, flow=self.flow_id,
+                        seq=packet.seq, value=rtt)
 
     # ------------------------------------------------------------------
 

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..obs.trace import FLOW_CWND, FLOW_RTT
 from ..simulation.packet import DEFAULT_HEADER_BYTES, DEFAULT_MTU_BYTES, Packet
 from ..simulation.simulator import PacketSimulator
 from .base import Application, TimeSeriesLog
@@ -166,7 +167,11 @@ class TcpNewRenoFlow(Application):
 
     def _log_cwnd(self) -> None:
         assert self.sim is not None
-        self.cwnd_log.append(self.sim.now, self.cwnd)
+        now = self.sim.now
+        self.cwnd_log.append(now, self.cwnd)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(now, FLOW_CWND, flow=self.flow_id, value=self.cwnd)
 
     def _update_loss_marks(self) -> None:
         """FACK-style loss inference from the SACK scoreboard.
@@ -267,6 +272,10 @@ class TcpNewRenoFlow(Application):
         if packet.ts_echo >= 0.0:
             sample = now - packet.ts_echo
             self.rtt_log.append(now, sample)
+            tracer = self._tracer
+            if tracer.enabled:
+                tracer.emit(now, FLOW_RTT, flow=self.flow_id, seq=ack,
+                            value=sample)
             self._update_rto_estimate(sample)
             self._on_rtt_sample(sample)
         # Ingest SACK blocks into the scoreboard.

@@ -12,9 +12,10 @@ from typing import List
 
 import numpy as np
 
+from ..obs.trace import FLOW_RTT
 from ..simulation.packet import DEFAULT_MTU_BYTES, Packet
 from ..simulation.simulator import PacketSimulator
-from .base import Application, TimeSeriesLog
+from .base import Application
 
 __all__ = ["UdpFlow"]
 
@@ -83,6 +84,13 @@ class UdpFlow(Application):
         assert self.sim is not None
         self.packets_received += 1
         self.bytes_received += packet.payload_bytes
+        tracer = self._tracer
+        if tracer.enabled and packet.sent_at_s >= 0.0:
+            # One-way delay: UDP's only latency signal (reason marks it
+            # as such, distinguishing it from round-trip samples).
+            tracer.emit(self.sim.now, FLOW_RTT, flow=self.flow_id,
+                        seq=packet.seq, value=self.sim.now - packet.sent_at_s,
+                        reason="owd")
         bin_index = int(self.sim.now / self.bin_s)
         while len(self._bins) <= bin_index:
             self._bins.append(0.0)

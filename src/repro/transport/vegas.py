@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from ..obs.trace import FLOW_STATE
 from .tcp import TcpNewRenoFlow
 
 __all__ = ["TcpVegasFlow"]
@@ -72,10 +73,21 @@ class TcpVegasFlow(TcpNewRenoFlow):
             return
         # Estimated packets this flow keeps queued in the network.
         diff = self.cwnd * (rtt_s - self.base_rtt_s) / rtt_s
+        tracer = self._tracer
+        if tracer.enabled:
+            assert self.sim is not None
+            # The backlog estimate is the signal Vegas acts on — the
+            # quantity that misreads LEO path lengthening as congestion.
+            tracer.emit(self.sim.now, FLOW_STATE, flow=self.flow_id,
+                        value=diff, reason="vegas_backlog")
         if self._in_vegas_slow_start:
             if diff > self.gamma:
                 self._in_vegas_slow_start = False
                 self.ssthresh = min(self.ssthresh, self.cwnd)
+                if tracer.enabled:
+                    assert self.sim is not None
+                    tracer.emit(self.sim.now, FLOW_STATE, flow=self.flow_id,
+                                value=self.cwnd, reason="vegas_exit_ss")
             else:
                 self._grow_this_rtt = not self._grow_this_rtt
             return

@@ -12,6 +12,7 @@ from .utilization_map import (
     UtilizationSegment,
     hotspot_summary,
     utilization_map,
+    utilization_map_from_registry,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "UtilizationSegment",
     "hotspot_summary",
     "utilization_map",
+    "utilization_map_from_registry",
 ]

@@ -16,8 +16,11 @@ import numpy as np
 
 from ..constellations.builder import Constellation
 from ..geo.coordinates import ecef_to_geodetic
+from ..obs.metrics import MetricsRegistry
+from ..obs.probes import isl_utilization_from_registry
 
-__all__ = ["UtilizationSegment", "utilization_map", "hotspot_summary"]
+__all__ = ["UtilizationSegment", "utilization_map",
+           "utilization_map_from_registry", "hotspot_summary"]
 
 
 @dataclass(frozen=True)
@@ -69,6 +72,23 @@ def utilization_map(constellation: Constellation,
             utilization=float(load),
         ))
     return segments
+
+
+def utilization_map_from_registry(constellation: Constellation,
+                                  registry: MetricsRegistry,
+                                  time_s: float
+                                  ) -> List[UtilizationSegment]:
+    """Render-ready ISL segments straight from a probe's sampled series.
+
+    The packet-simulator path of Figs. 14/15: attach a
+    :class:`~repro.obs.probes.SimulatorProbe` to the run and hand its
+    registry here — no private device plumbing involved.  Uses the latest
+    utilization sample at or before ``time_s``; geometry is evaluated at
+    ``time_s`` itself.
+    """
+    return utilization_map(
+        constellation, isl_utilization_from_registry(registry, time_s),
+        time_s)
 
 
 def hotspot_summary(segments: List[UtilizationSegment],
