@@ -4,9 +4,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test smoke bench bench-fig2 bench-obs clean
+.PHONY: check test smoke bench bench-fig2 bench-obs bench-sweep clean
 
-check: test smoke bench-obs
+check: test smoke bench-obs bench-sweep
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,6 +25,11 @@ bench:
 # costs more than 10% of the per-event budget.
 bench-obs:
 	$(PYTHON) -m pytest benchmarks/test_obs_overhead.py -q -o testpaths=
+
+# Sweep-engine gate: parallel must equal serial bit-for-bit, and reach
+# 1.7x at 4 workers (speedup half auto-skips below 4 cores).
+bench-sweep:
+	$(PYTHON) -m pytest benchmarks/test_sweep_speedup.py -q -o testpaths=
 
 # The scalability benches touched by the batched routing path.
 bench-fig2:

@@ -7,6 +7,7 @@ Usage (installed as ``python -m repro``):
    python -m repro info                     # Table 1 overview
    python -m repro info K1                  # one shell's description
    python -m repro rtt K1 Manila Dalian     # RTT series summary
+   python -m repro sweep K1 --workers 4     # parallel Fig. 8 path sweep
    python -m repro tles K1 -o k1.tle        # write 3LE file
    python -m repro czml K1 -o k1.czml       # write Cesium document
    python -m repro sky K1 "Saint Petersburg"  # sky view snapshot
@@ -41,6 +42,23 @@ def build_parser() -> argparse.ArgumentParser:
     rtt.add_argument("dst_city")
     rtt.add_argument("--duration", type=float, default=60.0)
     rtt.add_argument("--step", type=float, default=2.0)
+    rtt.add_argument("--workers", type=int, default=1,
+                     help="snapshot-sweep worker processes "
+                          "(1 = serial, 0 = all cores)")
+
+    sweep = sub.add_parser(
+        "sweep", help="path-evolution sweep over a permutation "
+                      "traffic matrix (Fig. 8)")
+    sweep.add_argument("shell")
+    sweep.add_argument("--cities", type=int, default=100,
+                       help="ground stations (top-N cities)")
+    sweep.add_argument("--duration", type=float, default=60.0)
+    sweep.add_argument("--step", type=float, default=1.0)
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="snapshot-sweep worker processes "
+                            "(1 = serial, 0 = all cores)")
+    sweep.add_argument("-o", "--output", default=None,
+                       help="write per-pair stats + sweep metrics JSON")
 
     tles = sub.add_parser("tles", help="generate a 3LE file for a shell")
     tles.add_argument("shell")
@@ -101,7 +119,8 @@ def _cmd_rtt(args) -> int:
     hypatia = Hypatia.from_shell_name(args.shell, num_cities=100)
     pair = hypatia.pair(args.src_city, args.dst_city)
     timeline = hypatia.compute_timelines(
-        [pair], duration_s=args.duration, step_s=args.step)[pair]
+        [pair], duration_s=args.duration, step_s=args.step,
+        workers=args.workers)[pair]
     rtts = timeline.rtts_s
     finite = rtts[np.isfinite(rtts)]
     if finite.size == 0:
@@ -115,6 +134,63 @@ def _cmd_rtt(args) -> int:
           f"{finite.max() * 1000:.2f} ms")
     print(f"  connected: {np.isfinite(rtts).mean() * 100:.1f}% of "
           f"snapshots")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    import json
+
+    from .analysis.paths import pair_path_stats
+    from .core.hypatia import Hypatia
+    from .core.workloads import random_permutation_pairs
+    from .obs import MetricsRegistry
+
+    hypatia = Hypatia.from_shell_name(args.shell, num_cities=args.cities)
+    pairs = random_permutation_pairs(args.cities)
+    registry = MetricsRegistry()
+    timelines = hypatia.compute_timelines(
+        pairs, duration_s=args.duration, step_s=args.step,
+        workers=args.workers, metrics=registry)
+    stats = pair_path_stats(timelines, hypatia.network.num_satellites)
+    changes = np.array([s.num_path_changes for s in stats])
+    spreads = np.array([s.hop_spread for s in stats])
+    num_snapshots = len(next(iter(timelines.values())).times_s)
+    print(f"{args.shell}: {len(pairs)} pairs x {num_snapshots} snapshots "
+          f"({args.duration:.0f}s at {args.step:.1f}s steps)")
+    if changes.size:
+        print(f"  path changes median/max: {np.median(changes):.0f} / "
+              f"{changes.max()}")
+        print(f"  hop spread median/max:   {np.median(spreads):.0f} / "
+              f"{spreads.max()}")
+    wall = registry.gauges["sweep.wall_s"].value
+    workers = int(registry.gauges["sweep.workers"].value)
+    print(f"  sweep: {workers} worker(s), {wall:.2f}s wall")
+    for name in registry.series_names(prefix="sweep.worker.",
+                                      suffix=".wall_s"):
+        log = registry.series_logs[name]
+        index = name[len("sweep.worker."):-len(".wall_s")]
+        count_log = registry.series_logs[
+            f"sweep.worker.{index}.snapshots"]
+        print(f"    worker {index}: {int(count_log.values[0])} snapshots "
+              f"in {log.values[0]:.2f}s (from t={log.times_s[0]:.1f}s)")
+    if args.output:
+        payload = {
+            "shell": args.shell,
+            "duration_s": args.duration,
+            "step_s": args.step,
+            "workers": workers,
+            "pairs": [
+                {"src_gid": s.src_gid, "dst_gid": s.dst_gid,
+                 "num_path_changes": s.num_path_changes,
+                 "min_hops": s.min_hops, "max_hops": s.max_hops}
+                for s in stats
+            ],
+            "metrics": registry.as_dict(),
+        }
+        with open(args.output, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=1)
+            stream.write("\n")
+        print(f"wrote sweep stats to {args.output}")
     return 0
 
 
@@ -202,6 +278,7 @@ def _cmd_report(args) -> int:
 _COMMANDS = {
     "info": _cmd_info,
     "rtt": _cmd_rtt,
+    "sweep": _cmd_sweep,
     "tles": _cmd_tles,
     "czml": _cmd_czml,
     "sky": _cmd_sky,

@@ -142,11 +142,24 @@ class Hypatia:
 
     def compute_timelines(self, pairs: Sequence[Tuple[int, int]],
                           duration_s: float, step_s: float = 0.1,
+                          workers: Optional[int] = None,
+                          metrics: Optional["MetricsRegistry"] = None,
                           ) -> Dict[Tuple[int, int], PairTimeline]:
-        """Shortest-path RTT/path timelines for the given pairs."""
+        """Shortest-path RTT/path timelines for the given pairs.
+
+        Args:
+            pairs: (src_gid, dst_gid) pairs to track.
+            duration_s: How long to simulate.
+            step_s: Forwarding-state recomputation interval.
+            workers: Snapshot-sweep worker processes (``None``/1 serial,
+                0 = all cores); parallel results are bit-identical to
+                serial — see :mod:`repro.sweep`.
+            metrics: Optional registry receiving per-worker ``sweep.*``
+                timing series.
+        """
         state = DynamicState(self.network, pairs, duration_s=duration_s,
                              step_s=step_s)
-        return state.compute()
+        return state.compute(workers=workers, metrics=metrics)
 
     def build_packet_simulator(self, link_config: Optional[LinkConfig] = None,
                                forwarding_interval_s: float = 0.1,

@@ -25,6 +25,7 @@ from .stations import GroundStation
 
 __all__ = [
     "elevation_angles_deg",
+    "batched_elevation_angles_deg",
     "visible_satellite_ids",
     "max_slant_range_m",
     "azimuth_elevation_deg",
@@ -62,6 +63,42 @@ def elevation_angles_deg(station: GroundStation,
     sin_elev = (delta @ up) / np.maximum(distances, 1e-9)
     sin_elev = np.clip(sin_elev, -1.0, 1.0)
     return np.degrees(np.arcsin(sin_elev))
+
+
+def batched_elevation_angles_deg(stations: List[GroundStation],
+                                 satellite_positions_ecef_m: np.ndarray
+                                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """Elevations *and* slant ranges of all stations x satellites at once.
+
+    The per-snapshot GSL hot path: one batched computation replaces G
+    calls to :func:`elevation_angles_deg` plus G norm evaluations, which
+    matters because every forwarding-state update (and every sweep
+    worker's inner loop) recomputes visibility of the whole constellation
+    from every ground station.
+
+    Args:
+        stations: The observing ground stations (length G).
+        satellite_positions_ecef_m: (N, 3) ECEF satellite positions.
+
+    Returns:
+        ``(elevations_deg, distances_m)``, each of shape (G, N): per
+        station, the elevation of every satellite above its horizon and
+        the slant range to it.
+    """
+    positions = np.atleast_2d(np.asarray(satellite_positions_ecef_m,
+                                         dtype=np.float64))
+    num_sats = positions.shape[0]
+    if not stations:
+        return (np.empty((0, num_sats)), np.empty((0, num_sats)))
+    station_ecef = np.stack([station.ecef_m for station in stations])
+    ups = np.stack([_local_up_unit(station) for station in stations])
+    delta = positions[None, :, :] - station_ecef[:, None, :]
+    distances = np.sqrt(np.einsum("gnk,gnk->gn", delta, delta))
+    # sin(elevation) is the up-component of the unit pointing vector.
+    sin_elev = (np.einsum("gnk,gk->gn", delta, ups)
+                / np.maximum(distances, 1e-9))
+    np.clip(sin_elev, -1.0, 1.0, out=sin_elev)
+    return np.degrees(np.arcsin(sin_elev)), distances
 
 
 def azimuth_elevation_deg(station: GroundStation,

@@ -120,7 +120,10 @@ class SimulatorProbe:
             if not self._should_track(name, device):
                 continue
             stats = device.stats
-            busy, sent = stats.busy_time_s, stats.bytes_sent
+            # Pro-rated busy time: an in-flight serialization contributes
+            # only its elapsed fraction, so interval utilization never
+            # exceeds 1 from a packet spanning the sample boundary.
+            busy, sent = device.busy_time_s(now), stats.bytes_sent
             last_busy, last_sent = self._last.get(name, (0.0, 0))
             self._last[name] = (busy, sent)
             prefix = f"link.{name}."

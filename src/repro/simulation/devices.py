@@ -45,20 +45,27 @@ class DeviceStats:
 
     def utilization(self, rate_bps: float, duration_s: float,
                     tracer: Optional[Tracer] = None,
-                    link_name: str = "") -> float:
+                    link_name: str = "",
+                    busy_time_s: Optional[float] = None) -> float:
         """Fraction of ``duration_s`` the transmitter was busy.
 
         Returns the *raw* busy-time ratio.  A ratio above 1.0 means the
-        busy-time accounting and the measurement window disagree (e.g. a
-        serialization that started before the window, or an accounting
-        bug) — it is reported as-is, with a :data:`~repro.obs.trace.WARNING`
-        trace event when an enabled ``tracer`` is given, instead of being
-        silently clamped.
+        busy-time accounting and the measurement window disagree (true
+        oversubscription, e.g. a window shorter than the busy time fed
+        into it) — it is reported as-is, with a
+        :data:`~repro.obs.trace.WARNING` trace event when an enabled
+        ``tracer`` is given, instead of being silently clamped.
+
+        Args:
+            busy_time_s: Busy-time override; pass
+                :meth:`LinkDevice.busy_time_s` to pro-rate a still
+                in-flight serialization at the measurement boundary.
         """
         if duration_s <= 0.0:
             return 0.0
         _ = rate_bps
-        ratio = self.busy_time_s / duration_s
+        busy = self.busy_time_s if busy_time_s is None else busy_time_s
+        ratio = busy / duration_s
         if ratio > 1.0 and tracer is not None and tracer.enabled:
             tracer.emit(duration_s, WARNING, link=link_name, value=ratio,
                         reason="utilization_above_1")
@@ -85,7 +92,7 @@ class LinkDevice:
 
     __slots__ = ("_scheduler", "_positions", "node_id", "rate_bps",
                  "queue_packets", "_deliver", "name", "_queue", "_busy",
-                 "stats", "_tracer")
+                 "stats", "_tracer", "_tx_start_s")
 
     def __init__(self, scheduler: EventScheduler, positions: PositionService,
                  node_id: int, rate_bps: float, queue_packets: int,
@@ -104,6 +111,7 @@ class LinkDevice:
         self.name = name or f"dev-{node_id}"
         self._queue: Deque[Tuple[Packet, int]] = deque()
         self._busy = False
+        self._tx_start_s = 0.0
         self.stats = DeviceStats()
         self._tracer = tracer if tracer is not None else NULL_TRACER
 
@@ -116,6 +124,34 @@ class LinkDevice:
     def is_busy(self) -> bool:
         """Whether a packet is currently being serialized."""
         return self._busy
+
+    def busy_time_s(self, now: Optional[float] = None) -> float:
+        """Cumulative busy time up to ``now`` (default: the current clock).
+
+        Completed serializations are credited in full at transmit finish;
+        a still in-flight packet contributes only its elapsed fraction, so
+        a measurement window that ends mid-serialization never counts
+        transmission time that has not happened yet.
+        """
+        total = self.stats.busy_time_s
+        if self._busy:
+            if now is None:
+                now = self._scheduler.now
+            total += max(0.0, now - self._tx_start_s)
+        return total
+
+    def utilization(self, duration_s: float,
+                    tracer: Optional[Tracer] = None) -> float:
+        """Busy fraction of ``[0, duration_s]``, pro-rating any in-flight
+        serialization at the measurement boundary.
+
+        A result above 1.0 now indicates true oversubscription and emits
+        a ``utilization_above_1`` WARNING through ``tracer`` (see
+        :meth:`DeviceStats.utilization`).
+        """
+        return self.stats.utilization(
+            self.rate_bps, duration_s, tracer=tracer, link_name=self.name,
+            busy_time_s=self.busy_time_s())
 
     def enqueue(self, packet: Packet, to_node: int) -> bool:
         """Submit a packet for transmission to ``to_node``.
@@ -150,8 +186,8 @@ class LinkDevice:
 
     def _start_transmission(self, packet: Packet, to_node: int) -> None:
         self._busy = True
+        self._tx_start_s = self._scheduler.now
         tx_time = packet.size_bytes * 8.0 / self.rate_bps
-        self.stats.busy_time_s += tx_time
         tracer = self._tracer
         if tracer.enabled:
             tracer.emit(self._scheduler.now, PKT_TX_START, node=self.node_id,
@@ -162,6 +198,9 @@ class LinkDevice:
 
     def _finish_transmission(self, packet: Packet, to_node: int) -> None:
         now = self._scheduler.now
+        # Busy time is credited only once the serialization completed;
+        # crediting at start over-counted windows ending mid-packet.
+        self.stats.busy_time_s += now - self._tx_start_s
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.size_bytes
         tracer = self._tracer

@@ -72,6 +72,8 @@ class ForwardingController:
         self._snapshot: Optional[TopologySnapshot] = None
         self._started = False
         self._num_sats = network.num_satellites
+        self._epoch_s = 0.0
+        self._update_count = 0
 
     @property
     def snapshot(self) -> Optional[TopologySnapshot]:
@@ -96,13 +98,20 @@ class ForwardingController:
         if self._started:
             raise RuntimeError("forwarding controller already started")
         self._started = True
+        self._epoch_s = self._scheduler.now
         self._update()
 
     def _update(self) -> None:
         now = self._scheduler.now
         self._snapshot = self.network.snapshot(now)
         self._refresh_routing()
-        self._scheduler.schedule(self.update_interval_s, self._update)
+        # Reschedule on the absolute grid epoch + k * interval: a relative
+        # delay accumulates float drift against the paper's 0.1 s snapshot
+        # grid (k additions instead of one multiplication).
+        self._update_count += 1
+        self._scheduler.schedule_at(
+            self._epoch_s + self._update_count * self.update_interval_s,
+            self._update)
 
     def _refresh_routing(self) -> None:
         """Recompute all destination trees against the current snapshot."""

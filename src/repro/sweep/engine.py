@@ -1,0 +1,194 @@
+"""The parallel snapshot-sweep engine.
+
+The paper's figure pipeline (§3.1/§5.3, Figs. 3, 6-9) is a walk over
+forwarding-state snapshots: at every instant, recompute the topology,
+run the batched per-destination Dijkstra, and record each tracked pair's
+path and distance.  Snapshots are independent of one another, so the walk
+shards cleanly: this engine splits the schedule into contiguous chunks,
+evaluates each chunk in a worker process (rebuilding the network there
+from a picklable :class:`~repro.sweep.spec.NetworkSpec` — live graphs and
+engines never cross the process boundary), and merges the per-pair arrays
+back in time order.
+
+Determinism contract: ``workers=N`` is bit-identical to ``workers=1``.
+Every chunk runs the exact same inner loop
+(:func:`repro.topology.dynamic_state.compute_pair_chunk`) on a network
+rebuilt from the exact same spec, and the merge is a pure concatenation
+in chunk order — no reductions whose result depends on worker scheduling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..topology.dynamic_state import PairTimeline, compute_pair_chunk
+from .spec import NetworkSpec
+
+__all__ = ["sweep_timelines", "shard_snapshots", "resolve_workers",
+           "record_sweep_metrics"]
+
+PairKey = Tuple[int, int]
+
+
+def record_sweep_metrics(metrics, times_s: np.ndarray,
+                         chunk_walls: Sequence[Tuple[int, float, float, int]],
+                         effective_workers: int, wall_s: float) -> None:
+    """Publish a sweep's timing breakdown to a metrics registry.
+
+    ``chunk_walls`` holds one ``(chunk_index, build_wall_s, total_wall_s,
+    num_snapshots)`` entry per chunk, in schedule order.
+    """
+    metrics.gauge("sweep.workers").set(float(effective_workers))
+    metrics.gauge("sweep.wall_s").set(wall_s)
+    metrics.counter("sweep.snapshots").inc(float(len(times_s)))
+    offset = 0
+    for index, build_wall_s, total_wall_s, count in chunk_walls:
+        at = float(times_s[offset]) if len(times_s) else 0.0
+        prefix = f"sweep.worker.{index}."
+        metrics.series(prefix + "wall_s").append(at, total_wall_s)
+        metrics.series(prefix + "build_s").append(at, build_wall_s)
+        metrics.series(prefix + "snapshots").append(at, float(count))
+        offset += count
+
+
+def shard_snapshots(num_snapshots: int,
+                    num_chunks: int) -> List[Tuple[int, int]]:
+    """Contiguous, near-equal ``(start, stop)`` index ranges over ``[0, T)``.
+
+    The first ``T % num_chunks`` chunks get one extra snapshot; the
+    ranges cover the schedule exactly once, in order.  Never returns more
+    chunks than snapshots.
+    """
+    if num_snapshots < 0:
+        raise ValueError(f"snapshot count must be >= 0, got {num_snapshots}")
+    if num_chunks < 1:
+        raise ValueError(f"chunk count must be >= 1, got {num_chunks}")
+    num_chunks = min(num_chunks, num_snapshots) or 1
+    base, extra = divmod(num_snapshots, num_chunks)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(num_chunks):
+        stop = start + base + (1 if index < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``workers`` argument: None/1 -> serial, 0 -> all cores."""
+    if workers is None:
+        return 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def _mp_context():
+    """Prefer ``fork`` (cheap, inherits the interpreter) when available."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def _run_chunk(payload: Tuple[int, NetworkSpec, List[PairKey], np.ndarray]
+               ) -> Tuple[int, Dict[PairKey, tuple], float, float]:
+    """One worker's unit of work: rebuild the network, sweep one chunk.
+
+    Module-level so multiprocessing pickles it by reference.  Returns
+    ``(chunk_index, chunk_result, build_wall_s, total_wall_s)``.
+    """
+    chunk_index, spec, pairs, times_s = payload
+    started = time.perf_counter()
+    network = spec.build()
+    build_wall_s = time.perf_counter() - started
+    result = compute_pair_chunk(network, pairs, times_s)
+    return chunk_index, result, build_wall_s, time.perf_counter() - started
+
+
+def sweep_timelines(spec: NetworkSpec,
+                    pairs: Sequence[PairKey],
+                    times_s: np.ndarray,
+                    workers: Optional[int] = None,
+                    metrics=None,
+                    mp_context=None) -> Dict[PairKey, PairTimeline]:
+    """Evaluate a snapshot sweep, optionally across worker processes.
+
+    Args:
+        spec: Picklable recipe for the network (see :class:`NetworkSpec`).
+        pairs: (src_gid, dst_gid) pairs to track.
+        times_s: Snapshot instants, ascending (the full schedule).
+        workers: Worker process count; ``None``/1 runs in-process, 0 uses
+            every core.  Short schedules get at most one chunk per
+            snapshot.
+        metrics: Optional :class:`repro.obs.MetricsRegistry` receiving
+            per-worker timing series (``sweep.worker.<k>.wall_s`` /
+            ``.build_s`` / ``.snapshots``, keyed by each chunk's first
+            snapshot time) plus ``sweep.workers`` / ``sweep.wall_s``
+            gauges and a ``sweep.snapshots`` counter.
+        mp_context: Multiprocessing context override (tests).
+
+    Returns:
+        pair -> :class:`PairTimeline` over the full schedule, bit-identical
+        to a serial walk regardless of ``workers``.
+    """
+    times_s = np.asarray(times_s, dtype=np.float64)
+    pair_keys: List[PairKey] = [(int(src), int(dst)) for src, dst in pairs]
+    if not pair_keys:
+        raise ValueError("need at least one pair to track")
+    workers = resolve_workers(workers)
+    sweep_started = time.perf_counter()
+
+    if workers <= 1 or len(times_s) <= 1:
+        started = time.perf_counter()
+        network = spec.build()
+        build_wall_s = time.perf_counter() - started
+        merged = compute_pair_chunk(network, pair_keys, times_s)
+        chunk_walls = [(0, build_wall_s, time.perf_counter() - started,
+                        len(times_s))]
+        effective_workers = 1
+    else:
+        shards = shard_snapshots(len(times_s), workers)
+        payloads = [(index, spec, pair_keys, times_s[start:stop])
+                    for index, (start, stop) in enumerate(shards)]
+        context = mp_context if mp_context is not None else _mp_context()
+        with ProcessPoolExecutor(max_workers=len(payloads),
+                                 mp_context=context) as pool:
+            outcomes = sorted(pool.map(_run_chunk, payloads),
+                              key=lambda item: item[0])
+        # Deterministic time-order merge: concatenate chunk arrays in
+        # shard order, which is schedule order by construction.
+        merged = {}
+        for pair in pair_keys:
+            distances = np.concatenate(
+                [outcome[1][pair][0] for outcome in outcomes])
+            paths: List[Optional[Tuple[int, ...]]] = []
+            for outcome in outcomes:
+                paths.extend(outcome[1][pair][1])
+            merged[pair] = (distances, paths)
+        chunk_walls = [
+            (index, build_wall_s, total_wall_s, stop - start)
+            for (index, _, build_wall_s, total_wall_s), (start, stop)
+            in zip(outcomes, shards)
+        ]
+        effective_workers = len(payloads)
+
+    if metrics is not None:
+        record_sweep_metrics(metrics, times_s, chunk_walls,
+                             effective_workers,
+                             time.perf_counter() - sweep_started)
+
+    return {
+        pair: PairTimeline(src_gid=pair[0], dst_gid=pair[1],
+                           times_s=times_s, distances_m=distances,
+                           paths=paths)
+        for pair, (distances, paths) in merged.items()
+    }

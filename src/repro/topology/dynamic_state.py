@@ -10,6 +10,7 @@ shortest path and distance, and exposes the timelines downstream analyses
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -19,7 +20,8 @@ from ..geo.constants import SPEED_OF_LIGHT_M_PER_S
 from .network import LeoNetwork
 
 __all__ = ["snapshot_times", "PairTimeline", "DynamicState",
-           "satellites_of_path", "count_path_changes"]
+           "satellites_of_path", "count_path_changes",
+           "compute_pair_chunk"]
 
 
 def snapshot_times(duration_s: float, step_s: float) -> np.ndarray:
@@ -78,10 +80,14 @@ class PairTimeline:
         return np.isfinite(self.distances_m)
 
     def hop_counts(self) -> np.ndarray:
-        """(T,) number of hops (edges) per snapshot; -1 while disconnected."""
+        """(T,) number of hops (edges) per snapshot; -1 while disconnected.
+
+        Always ``int64``, including the empty and the all-disconnected
+        cases (an untyped ``np.array([])`` would silently be float64).
+        """
         return np.array([
             len(path) - 1 if path is not None else -1 for path in self.paths
-        ])
+        ], dtype=np.int64)
 
     def satellite_sets(self, num_satellites: int) -> List[frozenset]:
         """Per-snapshot satellite membership of the path."""
@@ -100,6 +106,59 @@ def count_path_changes(satellite_sets: Sequence[frozenset]) -> int:
         if current != previous:
             changes += 1
     return changes
+
+
+def compute_pair_chunk(network: LeoNetwork,
+                       pairs: Sequence[Tuple[int, int]],
+                       times_s: np.ndarray,
+                       engine=None,
+                       ) -> Dict[Tuple[int, int],
+                                 Tuple[np.ndarray,
+                                       List[Optional[Tuple[int, ...]]]]]:
+    """Per-snapshot distances and paths of ``pairs`` over ``times_s``.
+
+    The shared inner loop of :meth:`DynamicState.compute` and the sweep
+    workers (:mod:`repro.sweep`): a module-level function so
+    multiprocessing can pickle it by reference, operating on a contiguous
+    chunk of the snapshot schedule.  All destination trees of one
+    snapshot come from a single batched Dijkstra
+    (:meth:`RoutingEngine.route_to_many`).
+
+    Args:
+        network: The LEO network to snapshot.
+        pairs: (src_gid, dst_gid) pairs to track.
+        times_s: The snapshot instants of this chunk, ascending.
+        engine: Optional pre-built :class:`RoutingEngine` over ``network``
+            (one is created when omitted).
+
+    Returns:
+        pair -> ``(distances_m, paths)`` with ``distances_m`` of shape
+        ``(len(times_s),)`` (inf while disconnected) and ``paths`` a list
+        of node-id tuples (None while disconnected).
+    """
+    if engine is None:
+        from ..routing.engine import RoutingEngine
+        engine = RoutingEngine(network)
+    pairs = [(int(src), int(dst)) for src, dst in pairs]
+    distances = {pair: np.full(len(times_s), np.inf) for pair in pairs}
+    paths: Dict[Tuple[int, int], List[Optional[Tuple[int, ...]]]] = {
+        pair: [] for pair in pairs}
+    destinations = sorted({dst for _, dst in pairs})
+    for t_index, time_s in enumerate(times_s):
+        snapshot = network.snapshot(float(time_s))
+        multi = engine.route_to_many(snapshot, destinations)
+        for pair in pairs:
+            src_gid, dst_gid = pair
+            routing = multi.routing_for(dst_gid)
+            path = engine.path_via(routing, snapshot, src_gid)
+            if path is None:
+                paths[pair].append(None)
+                continue
+            _, distance = routing.source_ingress(
+                snapshot.gsl_edges[src_gid])
+            distances[pair][t_index] = distance
+            paths[pair].append(tuple(path))
+    return {pair: (distances[pair], paths[pair]) for pair in pairs}
 
 
 class DynamicState:
@@ -136,36 +195,52 @@ class DynamicState:
         from ..routing.engine import RoutingEngine
         self.engine = RoutingEngine(network)
 
-    def compute(self) -> Dict[Tuple[int, int], PairTimeline]:
+    def compute(self, workers: Optional[int] = None,
+                metrics=None) -> Dict[Tuple[int, int], PairTimeline]:
         """Run the schedule and return one timeline per tracked pair.
 
         All destination trees of one snapshot come from a single batched
         Dijkstra (:meth:`RoutingEngine.route_to_many`), so tracking a full
         permutation traffic matrix costs one C-level graph sweep per
         snapshot rather than one Python-level call per destination.
+
+        Args:
+            workers: Number of worker processes for the snapshot sweep.
+                ``None`` or 1 runs serially in-process; larger values
+                shard the schedule into contiguous chunks evaluated by
+                :func:`repro.sweep.sweep_timelines` — results are
+                bit-identical to the serial walk, merged in time order.
+                Requires the network to be expressible as a picklable
+                :class:`repro.sweep.NetworkSpec` (a registered ISL
+                builder; see :func:`repro.sweep.register_isl_builder`).
+            metrics: Optional :class:`repro.obs.MetricsRegistry`
+                receiving per-worker timing series (``sweep.*``).
         """
-        timelines = {
-            pair: PairTimeline(
-                src_gid=pair[0], dst_gid=pair[1],
-                times_s=self.times_s,
-                distances_m=np.full(len(self.times_s), np.inf),
-            )
-            for pair in self.pairs
+        if workers is not None:
+            # Imported lazily: repro.sweep builds on this module.
+            from ..sweep import resolve_workers
+            workers = resolve_workers(workers)
+        if workers is not None and workers > 1:
+            from ..sweep import NetworkSpec, sweep_timelines
+            return sweep_timelines(
+                NetworkSpec.from_network(self.network), self.pairs,
+                self.times_s, workers=workers, metrics=metrics)
+        started = time.perf_counter()
+        chunk = compute_pair_chunk(self.network, self.pairs, self.times_s,
+                                   engine=self.engine)
+        if metrics is not None:
+            # Same instrument names the parallel engine publishes, so
+            # consumers (e.g. the sweep CLI) need not special-case serial
+            # runs; build time is 0 — the network already exists here.
+            from ..sweep import record_sweep_metrics
+            wall_s = time.perf_counter() - started
+            record_sweep_metrics(
+                metrics, self.times_s,
+                [(0, 0.0, wall_s, len(self.times_s))],
+                effective_workers=1, wall_s=wall_s)
+        return {
+            pair: PairTimeline(src_gid=pair[0], dst_gid=pair[1],
+                               times_s=self.times_s,
+                               distances_m=distances, paths=paths)
+            for pair, (distances, paths) in chunk.items()
         }
-        destinations = sorted({dst for _, dst in self.pairs})
-        for t_index, time_s in enumerate(self.times_s):
-            snapshot = self.network.snapshot(float(time_s))
-            multi = self.engine.route_to_many(snapshot, destinations)
-            for pair in self.pairs:
-                src_gid, dst_gid = pair
-                routing = multi.routing_for(dst_gid)
-                path = self.engine.path_via(routing, snapshot, src_gid)
-                timeline = timelines[pair]
-                if path is None:
-                    timeline.paths.append(None)
-                    continue
-                _, distance = routing.source_ingress(
-                    snapshot.gsl_edges[src_gid])
-                timeline.distances_m[t_index] = distance
-                timeline.paths.append(tuple(path))
-        return timelines

@@ -10,13 +10,14 @@ lengths are slant ranges.
 from __future__ import annotations
 
 import enum
+import numbers
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
 from ..ground.stations import GroundStation
-from ..ground.visibility import elevation_angles_deg
+from ..ground.visibility import batched_elevation_angles_deg
 
 __all__ = ["GslPolicy", "GslEdges", "compute_gsl_edges"]
 
@@ -82,36 +83,50 @@ def compute_gsl_edges(stations: Sequence[GroundStation],
     Args:
         stations: The ground stations.
         satellite_positions_ecef_m: (N, 3) ECEF satellite positions.
-        min_elevation_deg: Minimum elevation angle ``l`` — a single float,
-            or a mapping gid -> float for per-station values (e.g. a
-            weather model's effective elevations).
+        min_elevation_deg: Minimum elevation angle ``l`` — any real scalar
+            (Python float, ``np.float32`` from a weather model, ...), or a
+            mapping gid -> real for per-station values (e.g. a weather
+            model's effective elevations).
         policy: Satellite selection policy.
         excluded_satellites: Satellites no GS may link to (failed ones).
 
     Returns:
         Mapping gid -> :class:`GslEdges`.  Stations that see no satellite
         get an empty edge set (they are disconnected at this instant).
+
+    All stations' elevations and slant ranges come from one batched
+    station x satellite computation
+    (:func:`~repro.ground.visibility.batched_elevation_angles_deg`) —
+    this function sits on the per-snapshot hot path of both the
+    forwarding controller and the sweep workers.
     """
-    positions = np.asarray(satellite_positions_ecef_m)
     edges: Dict[int, GslEdges] = {}
-    for station in stations:
-        if isinstance(min_elevation_deg, (int, float)):
-            station_elevation = float(min_elevation_deg)
-        else:
-            station_elevation = float(min_elevation_deg[station.gid])
-        elevations = elevation_angles_deg(station, positions)
-        visible = np.nonzero(elevations >= station_elevation)[0]
-        if excluded_satellites:
-            visible = np.array(
-                [sat for sat in visible if sat not in excluded_satellites],
-                dtype=np.int64)
+    if not stations:
+        return edges
+    if isinstance(min_elevation_deg, numbers.Real):
+        thresholds = np.full(len(stations), float(min_elevation_deg))
+    else:
+        thresholds = np.array([float(min_elevation_deg[station.gid])
+                               for station in stations])
+    elevations, distances = batched_elevation_angles_deg(
+        stations, satellite_positions_ecef_m)
+    visible_mask = elevations >= thresholds[:, None]
+    excluded = None
+    if excluded_satellites:
+        excluded = np.fromiter(excluded_satellites, dtype=np.int64,
+                               count=len(excluded_satellites))
+    for row, station in enumerate(stations):
+        visible = np.nonzero(visible_mask[row])[0]
+        if excluded is not None:
+            # np.isin keeps the int64 dtype even when it empties the set.
+            visible = visible[~np.isin(visible, excluded)]
         if len(visible) == 0:
             edges[station.gid] = GslEdges(
                 gid=station.gid,
                 satellite_ids=np.empty(0, dtype=np.int64),
                 lengths_m=np.empty(0))
             continue
-        lengths = np.linalg.norm(positions[visible] - station.ecef_m, axis=1)
+        lengths = distances[row, visible]
         if policy is GslPolicy.NEAREST_ONLY:
             best = int(np.argmin(lengths))
             visible = visible[best:best + 1]

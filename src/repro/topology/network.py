@@ -181,6 +181,9 @@ class LeoNetwork:
         self.min_elevation_deg = min_elevation_deg
         self.gsl_policy = gsl_policy
         self.weather = weather
+        #: The builder callable, kept so :class:`repro.sweep.NetworkSpec`
+        #: can reverse-map it to a picklable name for worker rebuilds.
+        self.isl_builder = isl_builder
         self.failed_satellites = frozenset(int(s) for s in failed_satellites)
         for sat in self.failed_satellites:
             if not 0 <= sat < constellation.num_satellites:

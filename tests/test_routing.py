@@ -6,6 +6,7 @@ import pytest
 from repro.routing.engine import UNREACHABLE, RoutingEngine
 from repro.topology.dynamic_state import (
     DynamicState,
+    PairTimeline,
     count_path_changes,
     satellites_of_path,
     snapshot_times,
@@ -272,12 +273,31 @@ class TestDynamicState:
                              step_s=1.0)
         tl = state.compute()[(0, 3)]
         hops = tl.hop_counts()
+        assert hops.dtype == np.int64
         connected = tl.connected_mask
         for i in range(len(hops)):
             if connected[i]:
                 assert hops[i] == len(tl.paths[i]) - 1
             else:
                 assert hops[i] == -1
+
+    def test_hop_counts_empty_is_int64(self):
+        """Regression: an empty paths list produced a float64 array."""
+        tl = PairTimeline(src_gid=0, dst_gid=1,
+                          times_s=np.empty(0),
+                          distances_m=np.empty(0), paths=[])
+        hops = tl.hop_counts()
+        assert hops.dtype == np.int64
+        assert hops.shape == (0,)
+
+    def test_hop_counts_all_disconnected_is_int64(self):
+        tl = PairTimeline(src_gid=0, dst_gid=1,
+                          times_s=np.arange(3, dtype=float),
+                          distances_m=np.full(3, np.inf),
+                          paths=[None, None, None])
+        hops = tl.hop_counts()
+        assert hops.dtype == np.int64
+        assert list(hops) == [-1, -1, -1]
 
 
 class TestPathChangeCounting:

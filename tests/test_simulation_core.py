@@ -294,3 +294,65 @@ class TestLinkDevice:
         with pytest.raises(ValueError):
             LinkDevice(sched, None, 0, rate_bps=1.0, queue_packets=-1,
                        deliver=lambda p, n: None)
+
+
+class TestBusyTimeAccounting:
+    """Regression: busy time is credited at transmit *finish* and
+    pro-rated at measurement boundaries, not credited in full at start
+    (which let a window ending mid-serialization report utilization > 1
+    and spuriously emit the ``utilization_above_1`` warning)."""
+
+    def _make(self, rate_bps=8000.0):
+        sched = EventScheduler()
+
+        class FakePositions:
+            def delay_s(self, a, b, t):
+                return 0.01
+
+        device = LinkDevice(sched, FakePositions(), node_id=0,
+                            rate_bps=rate_bps, queue_packets=4,
+                            deliver=lambda pkt, node: None)
+        return sched, device
+
+    def test_window_ending_mid_serialization(self):
+        from repro.obs.trace import WARNING, RingBufferTracer
+        sched, device = self._make(rate_bps=8000.0)
+        # 1000 bytes at 8000 bps = 1.0 s serialization; stop at 0.5 s.
+        device.enqueue(Packet(1, 0, 1, size_bytes=1000), 1)
+        sched.run(until_s=0.5)
+        tracer = RingBufferTracer()
+        ratio = device.utilization(0.5, tracer=tracer)
+        assert ratio <= 1.0
+        assert ratio == pytest.approx(1.0)  # busy for the whole window
+        assert tracer.events_of(WARNING) == []
+
+    def test_partial_window_pro_rated(self):
+        sched, device = self._make(rate_bps=8000.0)
+        device.enqueue(Packet(1, 0, 1, size_bytes=1000), 1)  # 1.0 s tx
+        sched.run(until_s=0.25)
+        # Counter untouched until finish; the accessor pro-rates.
+        assert device.stats.busy_time_s == 0.0
+        assert device.busy_time_s() == pytest.approx(0.25)
+        assert device.utilization(2.0) == pytest.approx(0.125)
+
+    def test_full_credit_at_finish(self):
+        sched, device = self._make(rate_bps=8000.0)
+        device.enqueue(Packet(1, 0, 1, size_bytes=1000), 1)
+        sched.run(until_s=0.5)
+        sched.run()
+        assert device.stats.busy_time_s == pytest.approx(1.0)
+        assert device.busy_time_s() == pytest.approx(1.0)
+        assert not device.is_busy
+
+    def test_true_oversubscription_still_warns(self):
+        from repro.obs.trace import WARNING, RingBufferTracer
+        sched, device = self._make(rate_bps=8000.0)
+        for _ in range(3):
+            device.enqueue(Packet(1, 0, 1, size_bytes=1000), 1)
+        sched.run()  # 3.0 s of busy time
+        tracer = RingBufferTracer()
+        ratio = device.utilization(1.0, tracer=tracer)
+        assert ratio == pytest.approx(3.0)
+        warnings = tracer.events_of(WARNING)
+        assert len(warnings) == 1
+        assert warnings[0].reason == "utilization_above_1"

@@ -87,6 +87,25 @@ class TestForwardingController:
             ForwardingController(small_network, EventScheduler(),
                                  update_interval_s=0.0)
 
+    def test_update_times_stay_on_absolute_grid(self, small_network):
+        """Regression: relative rescheduling accumulated float drift off
+        the paper's 0.1 s grid; updates must land exactly on
+        ``k * interval`` for 1000 updates, matching ``snapshot_times``."""
+        from repro.obs.trace import FWD_UPDATE, RingBufferTracer
+        from repro.topology.dynamic_state import snapshot_times
+        tracer = RingBufferTracer()
+        sched = EventScheduler()
+        controller = ForwardingController(small_network, sched,
+                                          update_interval_s=0.1,
+                                          tracer=tracer)
+        controller.start()
+        sched.run(until_s=99.95)
+        times = [event.time_s for event in tracer.events_of(FWD_UPDATE)]
+        assert len(times) == 1000
+        # Exact equality, not approx: both sides are k * 0.1 in float64.
+        assert times == [k * 0.1 for k in range(1000)]
+        assert np.array_equal(np.asarray(times), snapshot_times(100.0, 0.1))
+
 
 class TestPacketDelivery:
     def test_single_packet_end_to_end(self, small_network):

@@ -148,6 +148,70 @@ class TestGslPolicies:
             assert len(strict[gid].satellite_ids) <= \
                 len(loose[gid].satellite_ids)
 
+    def test_numpy_scalar_min_elevation(self, small_constellation,
+                                        small_stations):
+        """A np.float32 threshold (e.g. from a weather model) must take
+        the scalar branch, not crash in the mapping branch."""
+        positions = small_constellation.positions_ecef_m(0.0)
+        reference = compute_gsl_edges(small_stations, positions, 15.0)
+        for scalar in (np.float32(15.0), np.float64(15.0), 15):
+            edges = compute_gsl_edges(small_stations, positions, scalar)
+            for gid in reference:
+                assert np.array_equal(edges[gid].satellite_ids,
+                                      reference[gid].satellite_ids)
+
+    def test_exclusion_keeps_int64_when_emptied(self, small_constellation,
+                                                small_stations):
+        """Excluding every visible satellite must leave an empty int64
+        id array, not a float64 one."""
+        positions = small_constellation.positions_ecef_m(0.0)
+        excluded = set(range(small_constellation.num_satellites))
+        edges = compute_gsl_edges(small_stations, positions, 15.0,
+                                  excluded_satellites=excluded)
+        for gid in range(len(small_stations)):
+            assert not edges[gid].is_connected
+            assert edges[gid].satellite_ids.dtype == np.int64
+
+    def test_exclusion_filters_only_excluded(self, small_constellation,
+                                             small_stations):
+        positions = small_constellation.positions_ecef_m(0.0)
+        plain = compute_gsl_edges(small_stations, positions, 15.0)
+        victim = int(plain[0].satellite_ids[0])
+        edges = compute_gsl_edges(small_stations, positions, 15.0,
+                                  excluded_satellites={victim})
+        for gid in range(len(small_stations)):
+            expected = [s for s in plain[gid].satellite_ids if s != victim]
+            assert list(edges[gid].satellite_ids) == expected
+
+    def test_batched_elevations_match_per_station(self, small_constellation,
+                                                  small_stations):
+        from repro.ground.visibility import (batched_elevation_angles_deg,
+                                             elevation_angles_deg)
+        positions = small_constellation.positions_ecef_m(7.0)
+        elevations, distances = batched_elevation_angles_deg(
+            small_stations, positions)
+        assert elevations.shape == (len(small_stations), len(positions))
+        for row, station in enumerate(small_stations):
+            np.testing.assert_allclose(
+                elevations[row], elevation_angles_deg(station, positions),
+                rtol=0, atol=1e-9)
+            np.testing.assert_allclose(
+                distances[row],
+                np.linalg.norm(positions - station.ecef_m, axis=1),
+                rtol=1e-12)
+
+    def test_mapping_elevation_still_supported(self, small_constellation,
+                                               small_stations):
+        positions = small_constellation.positions_ecef_m(0.0)
+        per_station = {station.gid: 15.0 for station in small_stations}
+        per_station[0] = 90.0  # station 0 effectively blacked out
+        edges = compute_gsl_edges(small_stations, positions, per_station)
+        reference = compute_gsl_edges(small_stations, positions, 15.0)
+        assert len(edges[0].satellite_ids) <= 1  # only near-zenith sats
+        for gid in range(1, len(small_stations)):
+            assert np.array_equal(edges[gid].satellite_ids,
+                                  reference[gid].satellite_ids)
+
 
 class TestLeoNetwork:
     def test_node_numbering(self, small_network):
