@@ -4,9 +4,10 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test smoke bench bench-fig2 bench-obs bench-sweep clean
+.PHONY: check test smoke bench bench-fig2 bench-obs bench-sweep \
+	bench-faults clean
 
-check: test smoke bench-obs bench-sweep
+check: test smoke bench-obs bench-sweep bench-faults
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -30,6 +31,11 @@ bench-obs:
 # 1.7x at 4 workers (speedup half auto-skips below 4 cores).
 bench-sweep:
 	$(PYTHON) -m pytest benchmarks/test_sweep_speedup.py -q -o testpaths=
+
+# Fault-model gate: scheduled outage waves must degrade RTTs gracefully
+# and recover bit-identically once the schedule ends.
+bench-faults:
+	$(PYTHON) -m pytest benchmarks/test_extension_resilience.py -q -o testpaths=
 
 # The scalability benches touched by the batched routing path.
 bench-fig2:

@@ -13,6 +13,8 @@ reimplements the full system from scratch:
 * :mod:`repro.simulation` / :mod:`repro.transport` — packet-level
   discrete-event simulation with TCP NewReno, TCP Vegas, UDP, ping;
 * :mod:`repro.fluid` — flow-level max-min and AIMD engines;
+* :mod:`repro.faults` — deterministic, seeded fault schedules (outages,
+  link cuts, stochastic loss) applied across every engine;
 * :mod:`repro.analysis` / :mod:`repro.viz` — the paper's metrics and
   visualization data exports;
 * :mod:`repro.core` — the :class:`~repro.core.hypatia.Hypatia` facade.
@@ -31,11 +33,15 @@ from .core.workloads import (
     pairs_by_name,
     random_permutation_pairs,
 )
+from .faults import FaultEvent, FaultKind, FaultSchedule
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Hypatia",
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
     "PAPER_FOCUS_PAIRS",
     "pairs_by_name",
     "random_permutation_pairs",

@@ -12,6 +12,9 @@ Usage (installed as ``python -m repro``):
    python -m repro czml K1 -o k1.czml       # write Cesium document
    python -m repro sky K1 "Saint Petersburg"  # sky view snapshot
    python -m repro report K1 Manila Dalian -o run.json --trace run.jsonl
+   python -m repro faults K1 -o faults.json --seed 7   # fault schedule
+   python -m repro report K1 Manila Dalian --faults faults.json
+   python -m repro sweep K1 --faults faults.json --workers 4
 """
 
 from __future__ import annotations
@@ -59,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(1 = serial, 0 = all cores)")
     sweep.add_argument("-o", "--output", default=None,
                        help="write per-pair stats + sweep metrics JSON")
+    sweep.add_argument("--faults", default=None, metavar="SPEC_JSON",
+                       help="apply a fault schedule "
+                            "(JSON written by 'repro faults' or "
+                            "FaultSchedule.to_json)")
 
     tles = sub.add_parser("tles", help="generate a 3LE file for a shell")
     tles.add_argument("shell")
@@ -91,6 +98,28 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--trace", default=None,
                         help="write the JSONL event trace here "
                              "(packet engine only)")
+    report.add_argument("--faults", default=None, metavar="SPEC_JSON",
+                        help="apply a fault schedule "
+                             "(JSON written by 'repro faults' or "
+                             "FaultSchedule.to_json)")
+
+    faults = sub.add_parser(
+        "faults", help="generate a seeded synthetic fault schedule")
+    faults.add_argument("shell")
+    faults.add_argument("-o", "--output", required=True,
+                        help="write the schedule JSON here")
+    faults.add_argument("--cities", type=int, default=100,
+                        help="ground stations the schedule covers")
+    faults.add_argument("--duration", type=float, default=60.0)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--sat-outage-prob", type=float, default=0.02,
+                        help="per-satellite outage probability")
+    faults.add_argument("--gsl-cut-prob", type=float, default=0.05,
+                        help="per-station GSL cut probability")
+    faults.add_argument("--loss-prob", type=float, default=0.05,
+                        help="per-station lossy-uplink probability")
+    faults.add_argument("--mean-duration", type=float, default=30.0,
+                        help="mean fault duration (seconds)")
     return parser
 
 
@@ -137,6 +166,20 @@ def _cmd_rtt(args) -> int:
     return 0
 
 
+def _load_faults(path: Optional[str]):
+    """Load a ``--faults`` schedule file (None passes through)."""
+    if path is None:
+        return None
+    from .faults import FaultSchedule
+    try:
+        schedule = FaultSchedule.from_json(path)
+    except (OSError, ValueError) as error:
+        raise KeyError(f"cannot load fault schedule {path!r}: {error}")
+    print(f"loaded fault schedule: {schedule.num_events} events, "
+          f"seed {schedule.seed}")
+    return schedule
+
+
 def _cmd_sweep(args) -> int:
     import json
 
@@ -145,7 +188,8 @@ def _cmd_sweep(args) -> int:
     from .core.workloads import random_permutation_pairs
     from .obs import MetricsRegistry
 
-    hypatia = Hypatia.from_shell_name(args.shell, num_cities=args.cities)
+    hypatia = Hypatia.from_shell_name(args.shell, num_cities=args.cities,
+                                      faults=_load_faults(args.faults))
     pairs = random_permutation_pairs(args.cities)
     registry = MetricsRegistry()
     timelines = hypatia.compute_timelines(
@@ -242,7 +286,8 @@ def _cmd_report(args) -> int:
     from .fluid.engine import FluidFlow
     from .obs import MetricsRegistry, RingBufferTracer
     from .transport.tcp import TcpNewRenoFlow
-    hypatia = Hypatia.from_shell_name(args.shell, num_cities=100)
+    hypatia = Hypatia.from_shell_name(args.shell, num_cities=100,
+                                      faults=_load_faults(args.faults))
     src_gid, dst_gid = hypatia.pair(args.src_city, args.dst_city)
 
     if args.engine == "packet":
@@ -275,6 +320,31 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from .constellations.definitions import shell_by_name
+    from .faults import FaultSchedule
+    shell = shell_by_name(args.shell)
+    schedule = FaultSchedule.synthetic(
+        num_satellites=shell.total_satellites,
+        num_stations=args.cities,
+        duration_s=args.duration,
+        seed=args.seed,
+        satellite_outage_probability=args.sat_outage_prob,
+        gsl_cut_probability=args.gsl_cut_prob,
+        loss_probability=args.loss_prob,
+        mean_duration_s=args.mean_duration,
+    )
+    schedule.to_json(args.output)
+    by_kind: dict = {}
+    for event in schedule:
+        by_kind[event.kind.value] = by_kind.get(event.kind.value, 0) + 1
+    print(f"wrote {schedule.num_events} fault events (seed {args.seed}) "
+          f"to {args.output}")
+    for kind, count in sorted(by_kind.items()):
+        print(f"  {kind}: {count}")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "rtt": _cmd_rtt,
@@ -283,6 +353,7 @@ _COMMANDS = {
     "czml": _cmd_czml,
     "sky": _cmd_sky,
     "report": _cmd_report,
+    "faults": _cmd_faults,
 }
 
 

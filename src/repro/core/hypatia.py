@@ -56,19 +56,26 @@ class Hypatia:
         use_isls: True for +Grid ISLs (default), False for bent-pipe
             (Appendix A) connectivity through GS relays only.
         gsl_policy: GS satellite-selection policy.
+        weather: Optional rain model (folded into the fault schedule).
+        faults: Optional :class:`repro.faults.FaultSchedule` — dynamic
+            outages/cuts/loss, applied at every topology snapshot and
+            packet transmission.
     """
 
     def __init__(self, constellation: Constellation,
                  ground_stations: Sequence[GroundStation],
                  min_elevation_deg: float,
                  use_isls: bool = True,
-                 gsl_policy: GslPolicy = GslPolicy.ALL_VISIBLE) -> None:
+                 gsl_policy: GslPolicy = GslPolicy.ALL_VISIBLE,
+                 weather=None, faults=None) -> None:
         isl_builder = plus_grid_isls if use_isls else no_isls
         self.network = LeoNetwork(
             constellation, ground_stations,
             min_elevation_deg=min_elevation_deg,
             isl_builder=isl_builder,
             gsl_policy=gsl_policy,
+            weather=weather,
+            faults=faults,
         )
         self.routing = RoutingEngine(self.network)
 
@@ -83,6 +90,7 @@ class Hypatia:
                         extra_stations: Sequence[GroundStation] = (),
                         gsl_policy: GslPolicy = GslPolicy.ALL_VISIBLE,
                         epoch_offset_s: float = 0.0,
+                        weather=None, faults=None,
                         ) -> "Hypatia":
         """Build a study for one Table 1 shell with city ground stations.
 
@@ -98,6 +106,8 @@ class Hypatia:
             epoch_offset_s: Advance the constellation by this much motion
                 at simulation time 0 (windows experiments around specific
                 connectivity events).
+            weather: Optional rain model.
+            faults: Optional :class:`repro.faults.FaultSchedule`.
         """
         shell = shell_by_name(shell_name)
         if min_elevation_deg is None:
@@ -110,7 +120,8 @@ class Hypatia:
         return cls(Constellation([shell], epoch_offset_s=epoch_offset_s),
                    stations,
                    min_elevation_deg=min_elevation_deg,
-                   use_isls=use_isls, gsl_policy=gsl_policy)
+                   use_isls=use_isls, gsl_policy=gsl_policy,
+                   weather=weather, faults=faults)
 
     # ------------------------------------------------------------------
     # Convenience lookups

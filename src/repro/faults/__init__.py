@@ -1,0 +1,7 @@
+"""Deterministic fault injection: seeded schedules of outages, link cuts,
+attenuation, and stochastic packet loss (see DESIGN.md "Fault model")."""
+
+from .injector import LinkFaultInjector
+from .schedule import FaultEvent, FaultKind, FaultSchedule
+
+__all__ = ["FaultEvent", "FaultKind", "FaultSchedule", "LinkFaultInjector"]

@@ -136,6 +136,7 @@ class AimdFluidSimulation:
 
         previous_sat_sets: List[Optional[frozenset]] = [None] * num_flows
         flow_rtt = np.full(num_flows, self.rtt_estimate_s)
+        faults = getattr(self.network, "fault_view", None)
         for t_index, time_s in enumerate(times):
             paths = (frozen_paths if frozen_paths is not None
                      else self._paths_at(float(time_s)))
@@ -144,6 +145,21 @@ class AimdFluidSimulation:
                 else None
                 for path in paths
             ]
+            # Per-device effective capacities under the fault schedule
+            # (snapshot granularity): cut/outaged devices serve nothing —
+            # their backlogs overflow and on-path flows halve — lossy
+            # devices serve at the expected survival rate.
+            dev_caps: Dict[Hashable, float] = {}
+            if faults is not None:
+                known = set(backlog_bits)
+                for devs in devices:
+                    if devs is not None:
+                        known.update(devs)
+                for dev in known:
+                    factor = faults.capacity_factor(
+                        dev, self._num_sats, float(time_s))
+                    if factor < 1.0:
+                        dev_caps[dev] = capacity * factor
             # Per-flow RTT from the current path geometry (propagation plus
             # a half-full bottleneck queue) drives each flow's AIMD slope:
             # long paths reclaim bandwidth slowly, exactly the paper's
@@ -185,7 +201,7 @@ class AimdFluidSimulation:
                 for dev, load in loads.items():
                     previous = backlog_bits.get(dev, 0.0)
                     arriving = previous + load * dt
-                    served = min(capacity * dt, arriving)
+                    served = min(dev_caps.get(dev, capacity) * dt, arriving)
                     leftover = arriving - served
                     overflowing[dev] = leftover > self.queue_bits
                     backlog_bits[dev] = min(leftover, self.queue_bits)
@@ -193,7 +209,8 @@ class AimdFluidSimulation:
                 # Queues on devices no flow uses anymore still drain.
                 for dev in list(backlog_bits):
                     if dev not in loads:
-                        drained = min(backlog_bits[dev], capacity * dt)
+                        drained = min(backlog_bits[dev],
+                                      dev_caps.get(dev, capacity) * dt)
                         served_bits[dev] = served_bits.get(dev, 0.0) + drained
                         backlog_bits[dev] -= drained
                         if backlog_bits[dev] <= 0.0:

@@ -224,6 +224,7 @@ class FluidSimulation:
             frozen_snapshot = self.network.snapshot(self.freeze_topology_at_s)
             frozen_paths = self._paths_at(frozen_snapshot)
 
+        faults = getattr(self.network, "fault_view", None)
         for t_index, time_s in enumerate(times):
             if frozen_paths is not None:
                 paths = frozen_paths
@@ -242,8 +243,15 @@ class FluidSimulation:
             capacities: Dict[Hashable, float] = {}
             for links in flow_links:
                 for link in links:
-                    capacities[link] = self.capacity_overrides.get(
+                    capacity = self.capacity_overrides.get(
                         link, self.link_capacity_bps)
+                    if faults is not None:
+                        # Cut/outaged devices are zero-capacity (flows
+                        # over them — frozen-topology mode — get rate 0);
+                        # lossy ones shrink to the expected goodput.
+                        capacity *= faults.capacity_factor(
+                            link, self._num_sats, float(time_s))
+                    capacities[link] = capacity
             allocated = max_min_fair_allocation(
                 capacities, flow_links,
                 demands=[min(d, 100.0 * self.link_capacity_bps)

@@ -60,6 +60,15 @@ class WeatherModel:
     def num_events(self) -> int:
         return sum(len(v) for v in self._by_gid.values())
 
+    def iter_events(self) -> List[RainEvent]:
+        """All rain events in deterministic (gid, start) order.
+
+        :meth:`repro.faults.FaultSchedule.from_weather` consumes this to
+        express the weather model as GSL attenuation fault events.
+        """
+        return [event for gid in sorted(self._by_gid)
+                for event in self._by_gid[gid]]
+
     def penalty_deg(self, gid: int, time_s: float) -> float:
         """Total elevation penalty over station ``gid`` at ``time_s``."""
         return sum(event.elevation_penalty_deg

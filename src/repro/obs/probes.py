@@ -105,6 +105,7 @@ class SimulatorProbe:
             return True
         stats = device.stats
         active = (stats.packets_sent > 0 or stats.packets_dropped > 0
+                  or stats.packets_dropped_fault > 0
                   or device.queue_length > 0 or device.is_busy)
         if active:
             self._tracked[name] = True
@@ -133,6 +134,15 @@ class SimulatorProbe:
                 now, (busy - last_busy) / interval)
             registry.series(prefix + "throughput_bps").append(
                 now, (sent - last_sent) * 8.0 / interval)
+        faults = getattr(self.sim.network, "fault_view", None)
+        if faults is not None:
+            # The faults.* family: how many schedule events are active
+            # and the cumulative injected-drop count, sampled alongside
+            # the link series so degradation windows line up.
+            registry.series("faults.active_events").append(
+                now, float(len(faults.active_at(now))))
+            registry.series("faults.packets_dropped").append(
+                now, float(self.sim.stats.packets_dropped_fault))
         scheduler = self.sim.scheduler
         events = scheduler.events_processed
         registry.series("scheduler.events_per_s").append(

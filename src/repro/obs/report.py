@@ -20,10 +20,20 @@ if TYPE_CHECKING:  # runtime-import-free: obs must not depend on the layers
     from ..fluid.engine import FluidResult
     from ..simulation.simulator import PacketSimulator
 
-__all__ = ["RunReport", "packet_run_report", "fluid_run_report"]
+__all__ = ["RunReport", "packet_run_report", "fluid_run_report",
+           "WALL_CLOCK_KEYS"]
 
 #: Report schema version (bump on breaking shape changes).
 REPORT_VERSION = 1
+
+#: Summary keys measuring *wall-clock* performance.  They legitimately
+#: differ between two otherwise identical runs, so the determinism
+#: regression tests compare reports with ``as_dict(deterministic=True)``,
+#: which drops them.
+WALL_CLOCK_KEYS = frozenset({
+    "wall_time_s", "events_per_wall_s", "routing_compute_s",
+    "snapshots_per_wall_s",
+})
 
 
 @dataclass
@@ -46,12 +56,24 @@ class RunReport:
     trace: Optional[Dict[str, Any]] = None
     extras: Dict[str, Any] = field(default_factory=dict)
 
-    def as_dict(self) -> Dict[str, Any]:
+    def as_dict(self, deterministic: bool = False) -> Dict[str, Any]:
+        """The report as one JSON-ready dict.
+
+        Args:
+            deterministic: Drop the wall-clock summary keys
+                (:data:`WALL_CLOCK_KEYS`) so two runs of the same seeded
+                scenario serialize byte-identically — the form the
+                determinism regression tests compare.
+        """
+        summary = self.summary
+        if deterministic:
+            summary = {key: value for key, value in summary.items()
+                       if key not in WALL_CLOCK_KEYS}
         payload: Dict[str, Any] = {
             "report_version": REPORT_VERSION,
             "kind": self.kind,
             "duration_s": self.duration_s,
-            "summary": self.summary,
+            "summary": summary,
         }
         if self.metrics is not None:
             payload["metrics"] = self.metrics

@@ -48,7 +48,8 @@ PKT_TX_FINISH = "pkt.tx_finish"
 #: A packet was handed to its destination application.
 PKT_DELIVER = "pkt.deliver"
 #: A packet was lost; ``reason`` is one of "queue", "no_route", "ttl",
-#: "no_handler".
+#: "no_handler", "fault" (injected loss/corruption; see
+#: :mod:`repro.faults`).
 PKT_DROP = "pkt.drop"
 #: The forwarding controller installed a fresh state snapshot.
 FWD_UPDATE = "fwd.update"

@@ -28,19 +28,38 @@ from .events import EventScheduler
 from .packet import Packet
 from .positions import PositionService
 
-__all__ = ["LinkDevice", "DeviceStats"]
+__all__ = ["LinkDevice", "DeviceStats", "DROPPED_FAULT"]
+
+
+class _DroppedFault:
+    """Falsy sentinel :meth:`LinkDevice.enqueue` returns for an injected
+    fault drop, so call sites keep their ``if not enqueue(...)`` shape
+    while the simulator can still tell fault drops from queue drops."""
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "DROPPED_FAULT"
+
+
+#: The shared fault-drop sentinel (identity-comparable, always falsy).
+DROPPED_FAULT = _DroppedFault()
 
 
 class DeviceStats:
     """Counters of one device, for utilization and loss accounting."""
 
     __slots__ = ("packets_sent", "bytes_sent", "packets_dropped",
-                 "busy_time_s")
+                 "packets_dropped_fault", "busy_time_s")
 
     def __init__(self) -> None:
         self.packets_sent = 0
         self.bytes_sent = 0
         self.packets_dropped = 0
+        self.packets_dropped_fault = 0
         self.busy_time_s = 0.0
 
     def utilization(self, rate_bps: float, duration_s: float,
@@ -88,16 +107,23 @@ class LinkDevice:
         tracer: Trace sink for enqueue/tx/drop events; the default
             :data:`~repro.obs.trace.NULL_TRACER` costs one attribute
             check per event.
+        fault_injector: Optional
+            :class:`repro.faults.LinkFaultInjector`; when set, every
+            offered packet is first subjected to its seeded Bernoulli
+            loss/corruption decision, and a positive verdict drops the
+            packet with the ``fault`` reason (returning
+            :data:`DROPPED_FAULT`).
     """
 
     __slots__ = ("_scheduler", "_positions", "node_id", "rate_bps",
                  "queue_packets", "_deliver", "name", "_queue", "_busy",
-                 "stats", "_tracer", "_tx_start_s")
+                 "stats", "_tracer", "_tx_start_s", "_fault_injector")
 
     def __init__(self, scheduler: EventScheduler, positions: PositionService,
                  node_id: int, rate_bps: float, queue_packets: int,
                  deliver: Callable[[Packet, int], None],
-                 name: str = "", tracer: Optional[Tracer] = None) -> None:
+                 name: str = "", tracer: Optional[Tracer] = None,
+                 fault_injector=None) -> None:
         if rate_bps <= 0.0:
             raise ValueError(f"rate must be positive, got {rate_bps}")
         if queue_packets < 0:
@@ -114,6 +140,9 @@ class LinkDevice:
         self._tx_start_s = 0.0
         self.stats = DeviceStats()
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        if fault_injector is not None and not fault_injector.has_events:
+            fault_injector = None
+        self._fault_injector = fault_injector
 
     @property
     def queue_length(self) -> int:
@@ -153,13 +182,26 @@ class LinkDevice:
             self.rate_bps, duration_s, tracer=tracer, link_name=self.name,
             busy_time_s=self.busy_time_s())
 
-    def enqueue(self, packet: Packet, to_node: int) -> bool:
+    def enqueue(self, packet: Packet, to_node: int):
         """Submit a packet for transmission to ``to_node``.
 
         Returns:
-            False if the drop-tail queue was full and the packet was lost.
+            True on acceptance; plain ``False`` if the drop-tail queue
+            was full; the falsy :data:`DROPPED_FAULT` sentinel if an
+            injected fault discarded the packet at the transmitter.
         """
         tracer = self._tracer
+        injector = self._fault_injector
+        if injector is not None:
+            verdict = injector.drop_reason(self._scheduler.now)
+            if verdict is not None:
+                self.stats.packets_dropped_fault += 1
+                if tracer.enabled:
+                    tracer.emit(self._scheduler.now, PKT_DROP,
+                                node=self.node_id, flow=packet.flow_id,
+                                link=self.name, seq=packet.seq,
+                                reason="fault")
+                return DROPPED_FAULT
         if self._busy:
             if len(self._queue) >= self.queue_packets:
                 self.stats.packets_dropped += 1

@@ -20,13 +20,14 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Iterator, Optional, Tuple
 
+from ..faults.injector import LinkFaultInjector
 from ..obs.metrics import MetricsRegistry
 from ..obs.probes import SimulatorProbe
 from ..obs.report import RunReport, packet_run_report
 from ..obs.trace import NULL_TRACER, PKT_DELIVER, PKT_DROP, Tracer
 from ..routing.engine import RoutingPerfCounters
 from ..topology.network import LeoNetwork
-from .devices import LinkDevice
+from .devices import DROPPED_FAULT, LinkDevice
 from .events import EventScheduler
 from .forwarding import ForwardingController
 from .packet import Packet
@@ -77,6 +78,7 @@ class SimulationStats:
         self.packets_dropped_queue = 0
         self.packets_dropped_ttl = 0
         self.packets_dropped_no_handler = 0
+        self.packets_dropped_fault = 0
         self.wall_time_s = 0.0
         self.events_processed = 0
         self.routing = RoutingPerfCounters()
@@ -86,7 +88,8 @@ class SimulationStats:
         """All drops regardless of cause."""
         return (self.packets_dropped_no_route + self.packets_dropped_queue
                 + self.packets_dropped_ttl
-                + self.packets_dropped_no_handler)
+                + self.packets_dropped_no_handler
+                + self.packets_dropped_fault)
 
     @property
     def events_per_wall_s(self) -> float:
@@ -105,6 +108,7 @@ class SimulationStats:
             "packets_dropped_queue": self.packets_dropped_queue,
             "packets_dropped_ttl": self.packets_dropped_ttl,
             "packets_dropped_no_handler": self.packets_dropped_no_handler,
+            "packets_dropped_fault": self.packets_dropped_fault,
         }
 
     def perf_summary(self) -> Dict[str, float]:
@@ -170,6 +174,11 @@ class PacketSimulator:
             network, self.scheduler, update_interval_s=forwarding_interval_s,
             perf=self.stats.routing, tracer=self.tracer)
         self._num_sats = network.num_satellites
+        # Stochastic loss/corruption events live on the network's fault
+        # schedule; each affected device gets its own injector whose RNG
+        # stream is derived from (schedule seed, device name).
+        faults = network.faults
+        self._faults = faults if faults is not None and len(faults) else None
         isl_pair_set = {(int(a), int(b)) for a, b in network.isl_pairs}
         isl_pair_set |= {(b, a) for a, b in isl_pair_set}
         for key in isl_rate_overrides:
@@ -189,17 +198,46 @@ class PacketSimulator:
                     self.scheduler, self.positions, src,
                     rate, self.config.isl_queue_packets,
                     self._receive, name=f"isl-{src}-{dst}",
-                    tracer=self.tracer)
+                    tracer=self.tracer,
+                    fault_injector=self._injector_for_isl(src, dst))
         self._gsl_devices: Dict[int, LinkDevice] = {}
         for node in range(network.num_nodes):
             rate = gsl_rate_overrides.get(node, self.config.gsl_rate_bps)
             self._gsl_devices[node] = LinkDevice(
                 self.scheduler, self.positions, node,
                 rate, self.config.gsl_queue_packets,
-                self._receive, name=f"gsl-{node}", tracer=self.tracer)
+                self._receive, name=f"gsl-{node}", tracer=self.tracer,
+                fault_injector=self._injector_for_gsl(node))
         # (node_id, flow_id) -> packet handler of the application endpoint.
         self._handlers: Dict[Tuple[int, int], Callable[[Packet], None]] = {}
         self._started = False
+
+    def _injector_for_isl(self, src: int,
+                          dst: int) -> Optional[LinkFaultInjector]:
+        """Seeded injector of one directed ISL device (None when no
+        loss/corruption event targets the link — the common case)."""
+        if self._faults is None:
+            return None
+        events = self._faults.loss_events_for_isl(src, dst)
+        if not events:
+            return None
+        return LinkFaultInjector(f"isl-{src}-{dst}", events,
+                                 seed=self._faults.seed)
+
+    def _injector_for_gsl(self, node: int) -> Optional[LinkFaultInjector]:
+        """Seeded injector of a node's shared GSL device.
+
+        A gid-targeted loss event acts on the *station's* uplink device
+        only; the satellite-side GSL devices are shared across stations,
+        so per-station downlink loss cannot be attributed there.
+        """
+        if self._faults is None or node < self._num_sats:
+            return None
+        events = self._faults.loss_events_for_gid(node - self._num_sats)
+        if not events:
+            return None
+        return LinkFaultInjector(f"gsl-{node}", events,
+                                 seed=self._faults.seed)
 
     # ------------------------------------------------------------------
     # Application-facing API
@@ -315,8 +353,12 @@ class PacketSimulator:
             return
         device = self._device_for(node, next_hop)
         self.stats.packets_forwarded += 1
-        if not device.enqueue(packet, next_hop):
-            self.stats.packets_dropped_queue += 1
+        accepted = device.enqueue(packet, next_hop)
+        if not accepted:
+            if accepted is DROPPED_FAULT:
+                self.stats.packets_dropped_fault += 1
+            else:
+                self.stats.packets_dropped_queue += 1
 
     def _device_for(self, node: int, next_hop: int) -> LinkDevice:
         if node < self._num_sats and next_hop < self._num_sats:

@@ -23,6 +23,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from ..constellations.builder import Constellation
+from ..faults.schedule import FaultSchedule
 from ..ground.stations import GroundStation
 from ..ground.weather import WeatherModel
 from ..orbits.shell import Shell
@@ -90,6 +91,9 @@ class NetworkSpec:
         failed_satellites: Satellites carrying no links.
         weather: Optional rain-attenuation schedule (plain data, so it
             pickles).
+        faults: Optional fault schedule (plain data too) — carrying it
+            here is what keeps faulted parallel sweeps bit-identical to
+            serial ones.
     """
 
     shells: Tuple[Shell, ...]
@@ -101,6 +105,7 @@ class NetworkSpec:
     gsl_policy: GslPolicy = GslPolicy.ALL_VISIBLE
     failed_satellites: Tuple[int, ...] = ()
     weather: Optional[WeatherModel] = field(default=None)
+    faults: Optional[FaultSchedule] = field(default=None)
 
     def __post_init__(self) -> None:
         if self.isl_builder not in ISL_BUILDERS:
@@ -126,6 +131,7 @@ class NetworkSpec:
             gsl_policy=network.gsl_policy,
             failed_satellites=tuple(sorted(network.failed_satellites)),
             weather=network.weather,
+            faults=network.faults,
         )
 
     def build(self) -> LeoNetwork:
@@ -140,4 +146,5 @@ class NetworkSpec:
             gsl_policy=self.gsl_policy,
             weather=self.weather,
             failed_satellites=self.failed_satellites,
+            faults=self.faults,
         )

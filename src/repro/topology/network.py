@@ -17,7 +17,8 @@ packet simulation, visualization):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+from typing import (TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional,
+                    Sequence, Tuple)
 
 import networkx as nx
 import numpy as np
@@ -29,6 +30,7 @@ from .gsl import GslEdges, GslPolicy, compute_gsl_edges
 from .isl import isl_lengths_m, plus_grid_isls, validate_isl_pairs
 
 if TYPE_CHECKING:
+    from ..faults.schedule import FaultSchedule
     from ..ground.weather import WeatherModel
 
 __all__ = ["LeoNetwork", "TopologySnapshot"]
@@ -148,6 +150,14 @@ class LeoNetwork:
             constellation; defaults to +Grid.  Pass
             :func:`repro.topology.isl.no_isls` for bent-pipe experiments.
         gsl_policy: Satellite-selection policy for ground stations.
+        weather: Optional rain model; internally folded into the fault
+            schedule (one code path evaluates both).
+        failed_satellites: Satellites dead for the whole run (their ISLs
+            are dropped once, at construction).
+        faults: Optional :class:`repro.faults.FaultSchedule`; snapshots
+            at time *t* exclude nodes/edges faulted at *t*, so routing
+            reroutes at the next forwarding tick and recovers when the
+            event ends.
 
     Example:
         >>> from repro.constellations import Constellation, KUIPER_K1
@@ -167,7 +177,8 @@ class LeoNetwork:
                  = plus_grid_isls,
                  gsl_policy: GslPolicy = GslPolicy.ALL_VISIBLE,
                  weather: Optional["WeatherModel"] = None,
-                 failed_satellites: Sequence[int] = ()) -> None:
+                 failed_satellites: Sequence[int] = (),
+                 faults: Optional["FaultSchedule"] = None) -> None:
         for i, station in enumerate(ground_stations):
             if station.gid != i:
                 raise ValueError(
@@ -181,6 +192,24 @@ class LeoNetwork:
         self.min_elevation_deg = min_elevation_deg
         self.gsl_policy = gsl_policy
         self.weather = weather
+        self.faults = faults
+        # Rain is one producer of GSL attenuation faults: fold a weather
+        # model into the (possibly empty) explicit schedule so snapshot()
+        # evaluates both through a single code path.
+        combined = faults
+        if weather is not None and weather.num_events:
+            from ..faults.schedule import FaultSchedule
+            rain = FaultSchedule.from_weather(weather)
+            combined = rain if combined is None else combined.merged(rain)
+        self._fault_view = \
+            combined if combined is not None and not combined.is_empty \
+            else None
+        # Memo of the last dynamically-masked ISL array: fault windows are
+        # long relative to the 100 ms snapshot grid, so consecutive
+        # snapshots usually share the same (outages, cuts) key.
+        self._isl_mask_key: Optional[Tuple[FrozenSet[int],
+                                           FrozenSet[Tuple[int, int]]]] = None
+        self._isl_mask_pairs: Optional[np.ndarray] = None
         #: The builder callable, kept so :class:`repro.sweep.NetworkSpec`
         #: can reverse-map it to a picklable name for worker rebuilds.
         self.isl_builder = isl_builder
@@ -188,6 +217,15 @@ class LeoNetwork:
         for sat in self.failed_satellites:
             if not 0 <= sat < constellation.num_satellites:
                 raise ValueError(f"failed satellite {sat} out of range")
+        if faults is not None:
+            for event in faults:
+                if event.satellite is not None and not \
+                        0 <= event.satellite < constellation.num_satellites:
+                    raise ValueError(
+                        f"fault satellite {event.satellite} out of range")
+                if event.gid is not None and not \
+                        0 <= event.gid < len(self.ground_stations):
+                    raise ValueError(f"fault gid {event.gid} out of range")
         self.isl_pairs = np.asarray(isl_builder(constellation))
         validate_isl_pairs(self.isl_pairs, constellation.num_satellites)
         if self.failed_satellites and len(self.isl_pairs):
@@ -197,6 +235,13 @@ class LeoNetwork:
                 for a, b in self.isl_pairs
             ])
             self.isl_pairs = self.isl_pairs[alive]
+
+    @property
+    def fault_view(self) -> Optional["FaultSchedule"]:
+        """The combined fault schedule snapshots evaluate (explicit
+        faults plus weather-derived attenuation), or None when no fault
+        can ever be active."""
+        return self._fault_view
 
     @property
     def num_satellites(self) -> int:
@@ -227,31 +272,68 @@ class LeoNetwork:
                 return station
         raise KeyError(f"no ground station named {name!r}")
 
+    def _masked_isl_pairs(self, outaged: FrozenSet[int],
+                          cut: FrozenSet[Tuple[int, int]]) -> np.ndarray:
+        """ISL pairs minus links touching an outaged satellite or cut
+        outright, memoized on the (outages, cuts) key — fault windows are
+        long relative to the snapshot grid, so the key rarely changes."""
+        key = (outaged, cut)
+        if key == self._isl_mask_key and self._isl_mask_pairs is not None:
+            return self._isl_mask_pairs
+        alive = np.array([
+            a not in outaged and b not in outaged
+            and (min(a, b), max(a, b)) not in cut
+            for a, b in self.isl_pairs
+        ]) if len(self.isl_pairs) else np.empty(0, dtype=bool)
+        self._isl_mask_key = key
+        self._isl_mask_pairs = self.isl_pairs[alive] \
+            if len(self.isl_pairs) else self.isl_pairs
+        return self._isl_mask_pairs
+
     def snapshot(self, time_s: float) -> TopologySnapshot:
         """Materialize the topology at ``time_s``.
 
-        A configured weather model raises each station's effective minimum
-        elevation while rain is active over it; failed satellites carry no
-        GSLs (their ISLs were already dropped at construction).
+        Fault events active at ``time_s`` (including rain, folded into
+        the fault view) are excluded: outaged satellites lose their ISLs
+        and GSLs, cut ISLs vanish, cut stations are disconnected, and
+        attenuated stations see a higher effective minimum elevation.
+        Statically failed satellites carry no GSLs (their ISLs were
+        already dropped at construction).
         """
         positions = self.constellation.positions_ecef_m(time_s)
-        if self.weather is not None:
-            elevation = {
-                station.gid: self.weather.min_elevation_deg(
-                    station.gid, self.min_elevation_deg, time_s)
-                for station in self.ground_stations
-            }
+        isl_pairs = self.isl_pairs
+        excluded = self.failed_satellites
+        cut_gids: FrozenSet[int] = frozenset()
+        faults = self._fault_view
+        if faults is not None:
+            outaged = faults.failed_satellites_at(time_s)
+            cut_isls = faults.cut_isls_at(time_s)
+            if outaged or cut_isls:
+                isl_pairs = self._masked_isl_pairs(outaged, cut_isls)
+            if outaged:
+                excluded = excluded | outaged
+            cut_gids = faults.cut_gids_at(time_s)
+        if faults is not None or self.weather is not None:
+            elevation = {}
+            for station in self.ground_stations:
+                if station.gid in cut_gids:
+                    elevation[station.gid] = float("inf")
+                    continue
+                penalty = faults.elevation_penalty_deg(
+                    station.gid, time_s) if faults is not None else 0.0
+                elevation[station.gid] = min(
+                    90.0, self.min_elevation_deg + penalty)
         else:
             elevation = self.min_elevation_deg
         return TopologySnapshot(
             time_s=time_s,
             satellite_positions_m=positions,
-            isl_pairs=self.isl_pairs,
-            isl_lengths_m=isl_lengths_m(self.isl_pairs, positions),
+            isl_pairs=isl_pairs,
+            isl_lengths_m=isl_lengths_m(isl_pairs, positions),
             gsl_edges=compute_gsl_edges(
                 self.ground_stations, positions,
                 elevation, self.gsl_policy,
-                excluded_satellites=self.failed_satellites or None),
+                excluded_satellites=excluded or None),
             num_satellites=self.num_satellites,
             num_ground_stations=self.num_ground_stations,
             relay_gids=frozenset(

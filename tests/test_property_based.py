@@ -8,7 +8,9 @@ from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.rtt import ecdf
+from repro.faults import FaultEvent, FaultKind, FaultSchedule
 from repro.fluid.maxmin import max_min_fair_allocation
+from repro.ground.weather import RainEvent, WeatherModel
 from repro.geo.coordinates import (
     GeodeticPosition,
     ecef_to_geodetic,
@@ -189,6 +191,171 @@ class TestEcdfProperties:
         assert (np.diff(ys) >= 0).all()
         assert ys[-1] == pytest.approx(1.0)
         assert ys[0] == pytest.approx(1.0 / len(values))
+
+
+event_time = st.floats(min_value=0.0, max_value=1000.0,
+                       allow_nan=False, allow_infinity=False)
+probe_time = st.floats(min_value=-100.0, max_value=1100.0,
+                       allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def fault_events(draw):
+    kind = draw(st.sampled_from(list(FaultKind)))
+    start = draw(event_time)
+    end = start + draw(st.floats(min_value=1e-3, max_value=200.0))
+    if kind is FaultKind.SATELLITE_OUTAGE:
+        return FaultEvent.satellite_outage(
+            draw(st.integers(min_value=0, max_value=99)), start, end)
+    if kind is FaultKind.ISL_CUT:
+        a = draw(st.integers(min_value=0, max_value=99))
+        b = draw(st.integers(min_value=0, max_value=99).filter(
+            lambda x: x != a))
+        return FaultEvent.isl_cut(a, b, start, end)
+    if kind is FaultKind.GSL_CUT:
+        return FaultEvent.gsl_cut(
+            draw(st.integers(min_value=0, max_value=99)), start, end)
+    if kind is FaultKind.GSL_ATTENUATION:
+        return FaultEvent.gsl_attenuation(
+            draw(st.integers(min_value=0, max_value=99)), start, end,
+            draw(st.floats(min_value=0.1, max_value=90.0)))
+    rate = draw(st.floats(min_value=1e-6, max_value=1.0))
+    target_gid = draw(st.booleans())
+    if target_gid:
+        gid = draw(st.integers(min_value=0, max_value=99))
+        isl = None
+    else:
+        gid = None
+        a = draw(st.integers(min_value=0, max_value=99))
+        b = draw(st.integers(min_value=0, max_value=99).filter(
+            lambda x: x != a))
+        isl = (a, b)
+    if kind is FaultKind.PACKET_LOSS:
+        return FaultEvent.packet_loss(start, end, rate, isl=isl, gid=gid)
+    return FaultEvent.packet_corruption(start, end, rate, isl=isl, gid=gid)
+
+
+@st.composite
+def rain_events(draw):
+    start = draw(event_time)
+    return RainEvent(
+        gid=draw(st.integers(min_value=0, max_value=9)),
+        start_s=start,
+        end_s=start + draw(st.floats(min_value=1e-3, max_value=200.0)),
+        elevation_penalty_deg=draw(st.floats(min_value=0.0, max_value=90.0)))
+
+
+class TestFaultScheduleProperties:
+    @given(fault_events(), probe_time)
+    def test_no_activity_outside_half_open_interval(self, event, t):
+        assert event.active_at(t) == (event.start_s <= t < event.end_s)
+
+    @given(st.lists(fault_events(), max_size=12), probe_time)
+    @settings(max_examples=60)
+    def test_schedule_queries_confined_to_active_events(self, events, t):
+        schedule = FaultSchedule(events)
+        active = schedule.active_at(t)
+        assert all(e.active_at(t) for e in active)
+        assert set(active) == {e for e in events if e.active_at(t)}
+        for sat in schedule.failed_satellites_at(t):
+            assert any(e.kind is FaultKind.SATELLITE_OUTAGE
+                       and e.satellite == sat for e in active)
+        if not active:
+            assert not schedule.failed_satellites_at(t)
+            assert not schedule.cut_isls_at(t)
+            assert not schedule.cut_gids_at(t)
+
+    @given(st.lists(fault_events(), max_size=12), st.randoms(),
+           st.integers(min_value=0, max_value=9), probe_time)
+    @settings(max_examples=60)
+    def test_stacking_is_order_independent(self, events, rng, gid, t):
+        shuffled = list(events)
+        rng.shuffle(shuffled)
+        a, b = FaultSchedule(events), FaultSchedule(shuffled)
+        assert a.events == b.events
+        assert a == b
+        assert a.elevation_penalty_deg(gid, t) == pytest.approx(
+            b.elevation_penalty_deg(gid, t))
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=8),
+           st.randoms())
+    def test_combined_rate_order_independent_and_bounded(self, rates, rng):
+        events = tuple(FaultEvent.packet_loss(0.0, 1.0, r, gid=0)
+                       for r in rates if r > 0.0)
+        shuffled = list(events)
+        rng.shuffle(shuffled)
+        schedule = FaultSchedule()
+        combined = schedule.combined_rate(events, 0.5)
+        assert combined == pytest.approx(
+            schedule.combined_rate(tuple(shuffled), 0.5))
+        assert 0.0 <= combined <= 1.0
+        if any(e.rate == 1.0 for e in events):
+            assert combined == 1.0
+
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(
+        min_value=1, max_value=300), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=25)
+    def test_synthetic_reproducible_and_sorted(self, seed, num_sats,
+                                               num_stations):
+        kwargs = dict(num_satellites=num_sats, num_stations=num_stations,
+                      duration_s=200.0, seed=seed,
+                      satellite_outage_probability=0.3,
+                      gsl_cut_probability=0.3, loss_probability=0.3)
+        a = FaultSchedule.synthetic(**kwargs)
+        assert a == FaultSchedule.synthetic(**kwargs)
+        assert a.seed == seed
+        starts = [event.start_s for event in a]
+        assert starts == sorted(starts)
+        for event in a:
+            if event.satellite is not None:
+                assert 0 <= event.satellite < num_sats
+            if event.gid is not None:
+                assert 0 <= event.gid < num_stations
+
+    @given(st.lists(fault_events(), max_size=10),
+           st.lists(fault_events(), max_size=10))
+    @settings(max_examples=40)
+    def test_dict_round_trip_any_schedule(self, events_a, events_b):
+        schedule = FaultSchedule(events_a, seed=3).merged(
+            FaultSchedule(events_b, seed=8))
+        assert FaultSchedule.from_dict(schedule.as_dict()) == schedule
+
+
+class TestWeatherModelProperties:
+    @given(rain_events(), probe_time)
+    def test_no_penalty_outside_half_open_interval(self, event, t):
+        model = WeatherModel([event])
+        active = event.start_s <= t < event.end_s
+        assert event.active_at(t) == active
+        expected = event.elevation_penalty_deg if active else 0.0
+        assert model.penalty_deg(event.gid, t) == pytest.approx(expected)
+
+    @given(st.lists(rain_events(), max_size=10), st.randoms(),
+           st.integers(min_value=0, max_value=9), probe_time)
+    @settings(max_examples=60)
+    def test_penalty_stacking_order_independent(self, events, rng, gid, t):
+        shuffled = list(events)
+        rng.shuffle(shuffled)
+        a, b = WeatherModel(events), WeatherModel(shuffled)
+        assert a.penalty_deg(gid, t) == pytest.approx(b.penalty_deg(gid, t))
+        expected = sum(e.elevation_penalty_deg for e in events
+                       if e.gid == gid and e.active_at(t))
+        assert a.penalty_deg(gid, t) == pytest.approx(expected)
+        assert a.min_elevation_deg(gid, 25.0, t) <= 90.0
+
+    @given(st.integers(min_value=0, max_value=2**31),
+           st.integers(min_value=1, max_value=50))
+    @settings(max_examples=25)
+    def test_synthetic_reproducible(self, seed, num_stations):
+        a = WeatherModel.synthetic(num_stations, 300.0, seed=seed,
+                                   storm_probability=0.5)
+        b = WeatherModel.synthetic(num_stations, 300.0, seed=seed,
+                                   storm_probability=0.5)
+        assert a.iter_events() == b.iter_events()
+        # And the fault-schedule view agrees event for event.
+        fa = FaultSchedule.from_weather(a)
+        assert fa == FaultSchedule.from_weather(b)
+        assert fa.num_events == a.num_events
 
 
 class TestSchedulerProperties:

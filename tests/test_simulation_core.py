@@ -6,7 +6,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.simulation.devices import LinkDevice
+from repro.simulation.devices import DeviceStats, LinkDevice
 from repro.simulation.events import EventScheduler
 from repro.simulation.packet import DEFAULT_HEADER_BYTES, Packet
 from repro.simulation.positions import PositionService
@@ -356,3 +356,35 @@ class TestBusyTimeAccounting:
         warnings = tracer.events_of(WARNING)
         assert len(warnings) == 1
         assert warnings[0].reason == "utilization_above_1"
+
+    def test_oversubscription_warning_carries_link_and_ratio(self):
+        from repro.obs.trace import WARNING, RingBufferTracer
+        stats = DeviceStats()
+        stats.busy_time_s = 3.0
+        # Without a tracer the raw ratio comes back unclamped, silently.
+        assert stats.utilization(8000.0, 2.0) == pytest.approx(1.5)
+        tracer = RingBufferTracer()
+        ratio = stats.utilization(8000.0, 2.0, tracer=tracer,
+                                  link_name="isl-0-1")
+        assert ratio == pytest.approx(1.5)
+        (warning,) = tracer.events_of(WARNING)
+        assert warning.reason == "utilization_above_1"
+        assert warning.link == "isl-0-1"
+        assert warning.value == pytest.approx(1.5)
+        # At or below 1.0 the warning path stays quiet.
+        tracer2 = RingBufferTracer()
+        stats.utilization(8000.0, 3.0, tracer=tracer2, link_name="isl-0-1")
+        assert tracer2.events_of(WARNING) == []
+
+    def test_window_starting_and_ending_mid_packet(self):
+        sched, device = self._make(rate_bps=8000.0)
+        device.enqueue(Packet(1, 0, 1, size_bytes=1000), 1)  # 1.0 s tx
+        sched.run(until_s=0.8)
+        # Nothing credited to the counter yet: the packet is in flight.
+        assert device.stats.busy_time_s == 0.0
+        # A window fully inside the serialization pro-rates both edges.
+        window = device.busy_time_s(0.75) - device.busy_time_s(0.25)
+        assert window == pytest.approx(0.5)
+        # Clock-default accessor agrees with the explicit ``now``.
+        assert device.busy_time_s() == pytest.approx(
+            device.busy_time_s(sched.now))

@@ -3,8 +3,10 @@
 import numpy as np
 import pytest
 
+from repro.faults import FaultEvent, FaultSchedule
 from repro.routing.engine import RoutingEngine
 from repro.simulation.simulator import LinkConfig, PacketSimulator
+from repro.topology.network import LeoNetwork
 from repro.transport.bbr import TcpBbrFlow
 from repro.transport.tcp import TcpNewRenoFlow
 
@@ -76,6 +78,70 @@ class TestBbrBasics:
         sim.run(20.0)
         expected = 2.0 * bbr.btl_bw_bps * bbr.rt_prop_s / (1500 * 8)
         assert bbr.cwnd == pytest.approx(max(4.0, expected), rel=0.01)
+
+    def test_recovers_from_mid_flow_loss_burst(self, small_constellation,
+                                               small_stations):
+        """A seeded fault burst (30% loss on the source uplink over
+        [8, 11) s) dents BBR's delivery but the model-driven cwnd and
+        pacing recover once the burst ends, instead of staying collapsed
+        the way a loss-halving controller would."""
+        faults = FaultSchedule([
+            FaultEvent.packet_loss(8.0, 11.0, 0.3, gid=0)], seed=3)
+        network = LeoNetwork(small_constellation, small_stations,
+                             min_elevation_deg=10.0, faults=faults)
+        sim = PacketSimulator(network)
+        bbr = TcpBbrFlow(0, 3).install(sim)
+        sim.run(8.0)
+        before_rcv = bbr.rcv_nxt
+        before_cwnd = bbr.cwnd
+        sim.run(11.0)
+        burst_rcv = bbr.rcv_nxt
+        sim.run(20.0)
+        # The burst really happened and really hurt delivery.
+        assert sim.stats.packets_dropped_fault > 0
+        burst_rate = (burst_rcv - before_rcv) / 3.0
+        after_rate = (bbr.rcv_nxt - burst_rcv) / 9.0
+        assert after_rate > burst_rate
+        # Recovery shape: cwnd back at the model's 2-BDP operating point,
+        # within 10% of its pre-burst level, and pacing tracks btl_bw.
+        expected = 2.0 * bbr.btl_bw_bps * bbr.rt_prop_s / (1500 * 8)
+        assert bbr.cwnd == pytest.approx(max(4.0, expected), rel=0.01)
+        assert bbr.cwnd == pytest.approx(before_cwnd, rel=0.1)
+        assert bbr._pacing_rate_bps >= 0.9 * bbr.btl_bw_bps
+        assert bbr.goodput_bps(20.0) > 2.5e6
+
+    def test_cwnd_tracks_abrupt_rtt_step(self, small_network):
+        """An abrupt +40 ms RTT step (handover to a longer path): the
+        in-flight cap follows rt_prop up — cwnd grows towards the new
+        2-BDP once the min-RTT window expires — and pacing, which is
+        bandwidth- not RTT-derived, stays put."""
+        sim = PacketSimulator(small_network)
+        bbr = TcpBbrFlow(0, 3, max_packets=100).install(sim)
+        sim.run(5.0)
+        assert bbr.snd_una == 100  # transfer done; samples now synthetic
+        fixed_bw = bbr.btl_bw_bps  # pin the bandwidth leg of the model
+        old_rt_prop = bbr.rt_prop_s
+        packet_bits = bbr.packet_bytes * 8.0
+        old_cwnd = max(4.0, 2.0 * fixed_bw * old_rt_prop / packet_bits)
+        pacing_at_step = None
+        for i in range(40):
+            sim.run(5.0 + (i + 1) * 0.4)
+            bbr._bw_filter.append((sim.now, fixed_bw))
+            bbr._on_rtt_sample(old_rt_prop + 0.04)
+            if pacing_at_step is None:
+                pacing_at_step = bbr._pacing_rate_bps
+        assert bbr.rt_prop_s >= old_rt_prop + 0.039
+        # cwnd scales with rt_prop: new/old ratio matches the RTT ratio.
+        assert bbr.cwnd == pytest.approx(
+            max(4.0, 2.0 * fixed_bw * bbr.rt_prop_s / packet_bits))
+        assert bbr.cwnd / old_cwnd == pytest.approx(
+            bbr.rt_prop_s / old_rt_prop, rel=0.05)
+        # Pacing is bandwidth-derived, not RTT-derived: with the estimate
+        # pinned, the growing rt_prop never moves the pacing rate.
+        assert bbr._pacing_rate_bps == pytest.approx(pacing_at_step)
+        # A step *down* is adopted immediately (min filter, no window).
+        bbr._on_rtt_sample(old_rt_prop / 2.0)
+        assert bbr.rt_prop_s == pytest.approx(old_rt_prop / 2.0)
 
     def test_loss_does_not_collapse_rate(self, small_network):
         """With tiny buffers (heavy loss), BBR keeps making progress at a
