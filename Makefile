@@ -5,9 +5,9 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check test smoke bench bench-fig2 bench-obs bench-sweep \
-	bench-faults clean
+	bench-faults bench-traffic clean
 
-check: test smoke bench-obs bench-sweep bench-faults
+check: test smoke bench-obs bench-sweep bench-faults bench-traffic
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -36,6 +36,11 @@ bench-sweep:
 # and recover bit-identically once the schedule ends.
 bench-faults:
 	$(PYTHON) -m pytest benchmarks/test_extension_resilience.py -q -o testpaths=
+
+# Traffic-model gate: ~1000 finite flows must arrive, get re-solved
+# allocations, and complete on the Starlink S1 shell.
+bench-traffic:
+	$(PYTHON) -m pytest benchmarks/test_traffic_churn.py -q -o testpaths=
 
 # The scalability benches touched by the batched routing path.
 bench-fig2:

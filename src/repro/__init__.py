@@ -15,6 +15,8 @@ reimplements the full system from scratch:
 * :mod:`repro.fluid` — flow-level max-min and AIMD engines;
 * :mod:`repro.faults` — deterministic, seeded fault schedules (outages,
   link cuts, stochastic loss) applied across every engine;
+* :mod:`repro.traffic` — gravity-model demand matrices and seeded
+  stochastic flow workloads with flow-completion-time reporting;
 * :mod:`repro.analysis` / :mod:`repro.viz` — the paper's metrics and
   visualization data exports;
 * :mod:`repro.core` — the :class:`~repro.core.hypatia.Hypatia` facade.
@@ -34,6 +36,13 @@ from .core.workloads import (
     random_permutation_pairs,
 )
 from .faults import FaultEvent, FaultKind, FaultSchedule
+from .traffic import (
+    FlowArrivalProcess,
+    FlowRequest,
+    TrafficMatrix,
+    WorkloadSchedule,
+    WorkloadSpawner,
+)
 
 __version__ = "1.0.0"
 
@@ -42,6 +51,11 @@ __all__ = [
     "FaultEvent",
     "FaultKind",
     "FaultSchedule",
+    "FlowArrivalProcess",
+    "FlowRequest",
+    "TrafficMatrix",
+    "WorkloadSchedule",
+    "WorkloadSpawner",
     "PAPER_FOCUS_PAIRS",
     "pairs_by_name",
     "random_permutation_pairs",

@@ -15,6 +15,9 @@ Usage (installed as ``python -m repro``):
    python -m repro faults K1 -o faults.json --seed 7   # fault schedule
    python -m repro report K1 Manila Dalian --faults faults.json
    python -m repro sweep K1 --faults faults.json --workers 4
+   python -m repro traffic -o workload.json --seed 7   # gravity workload
+   python -m repro report K1 --engine maxmin --workload workload.json
+   python -m repro sweep K1 --workload workload.json --workers 4
 """
 
 from __future__ import annotations
@@ -66,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="apply a fault schedule "
                             "(JSON written by 'repro faults' or "
                             "FaultSchedule.to_json)")
+    sweep.add_argument("--workload", default=None, metavar="WORKLOAD_JSON",
+                       help="track the pairs of a workload schedule "
+                            "(JSON written by 'repro traffic') instead of "
+                            "the permutation matrix")
 
     tles = sub.add_parser("tles", help="generate a 3LE file for a shell")
     tles.add_argument("shell")
@@ -85,8 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser(
         "report", help="run a small scenario and dump its RunReport")
     report.add_argument("shell")
-    report.add_argument("src_city")
-    report.add_argument("dst_city")
+    report.add_argument("src_city", nargs="?", default=None,
+                        help="source city (optional with --workload)")
+    report.add_argument("dst_city", nargs="?", default=None,
+                        help="destination city (optional with --workload)")
     report.add_argument("--engine", choices=("packet", "aimd", "maxmin"),
                         default="packet",
                         help="packet simulator (default) or a fluid engine")
@@ -102,6 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="apply a fault schedule "
                              "(JSON written by 'repro faults' or "
                              "FaultSchedule.to_json)")
+    report.add_argument("--workload", default=None,
+                        metavar="WORKLOAD_JSON",
+                        help="drive the run with a workload schedule "
+                             "(JSON written by 'repro traffic' or "
+                             "WorkloadSchedule.to_json)")
 
     faults = sub.add_parser(
         "faults", help="generate a seeded synthetic fault schedule")
@@ -120,6 +134,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-station lossy-uplink probability")
     faults.add_argument("--mean-duration", type=float, default=30.0,
                         help="mean fault duration (seconds)")
+
+    traffic = sub.add_parser(
+        "traffic", help="generate a seeded traffic workload "
+                        "(gravity or permutation demand)")
+    traffic.add_argument("-o", "--output", required=True,
+                         help="write the workload schedule JSON here")
+    traffic.add_argument("--cities", type=int, default=100,
+                         help="ground stations the matrix covers")
+    traffic.add_argument("--model", choices=("gravity", "permutation"),
+                         default="gravity",
+                         help="demand model (gravity: population-weighted; "
+                              "permutation: the paper's section 5.4 matrix)")
+    traffic.add_argument("--total-mbps", type=float, default=1000.0,
+                         help="aggregate offered load (gravity model)")
+    traffic.add_argument("--pair-mbps", type=float, default=10.0,
+                         help="per-pair offered load (permutation model)")
+    traffic.add_argument("--distance-exponent", type=float, default=1.0,
+                         help="gravity deterrence exponent "
+                              "(0 disables distance)")
+    traffic.add_argument("--duration", type=float, default=60.0,
+                         help="workload horizon (seconds)")
+    traffic.add_argument("--seed", type=int, default=0)
+    traffic.add_argument("--mean-size", type=float, default=1_000_000.0,
+                         help="mean flow size (bytes)")
+    traffic.add_argument("--size-dist",
+                         choices=("exponential", "lognormal", "pareto"),
+                         default="exponential",
+                         help="flow size distribution")
+    traffic.add_argument("--matrix-out", default=None,
+                         help="also write the demand matrix JSON here")
     return parser
 
 
@@ -180,6 +224,20 @@ def _load_faults(path: Optional[str]):
     return schedule
 
 
+def _load_workload(path: Optional[str]):
+    """Load a ``--workload`` schedule file (None passes through)."""
+    if path is None:
+        return None
+    from .traffic import WorkloadSchedule
+    try:
+        schedule = WorkloadSchedule.from_json(path)
+    except (OSError, ValueError) as error:
+        raise KeyError(f"cannot load workload {path!r}: {error}")
+    print(f"loaded workload: {schedule.num_flows} flows over "
+          f"{len(schedule.pairs())} pairs, seed {schedule.seed}")
+    return schedule
+
+
 def _cmd_sweep(args) -> int:
     import json
 
@@ -190,7 +248,13 @@ def _cmd_sweep(args) -> int:
 
     hypatia = Hypatia.from_shell_name(args.shell, num_cities=args.cities,
                                       faults=_load_faults(args.faults))
-    pairs = random_permutation_pairs(args.cities)
+    workload = _load_workload(args.workload)
+    if workload is not None:
+        pairs = workload.pairs()
+        if not pairs:
+            raise KeyError(f"workload {args.workload!r} has no flows")
+    else:
+        pairs = random_permutation_pairs(args.cities)
     registry = MetricsRegistry()
     timelines = hypatia.compute_timelines(
         pairs, duration_s=args.duration, step_s=args.step,
@@ -288,16 +352,28 @@ def _cmd_report(args) -> int:
     from .transport.tcp import TcpNewRenoFlow
     hypatia = Hypatia.from_shell_name(args.shell, num_cities=100,
                                       faults=_load_faults(args.faults))
-    src_gid, dst_gid = hypatia.pair(args.src_city, args.dst_city)
+    workload = _load_workload(args.workload)
+    if workload is None and (args.src_city is None or args.dst_city is None):
+        raise KeyError("report needs a src/dst city pair, a --workload "
+                       "file, or both")
+    pair = (hypatia.pair(args.src_city, args.dst_city)
+            if args.src_city is not None and args.dst_city is not None
+            else None)
 
     if args.engine == "packet":
+        from .traffic import WorkloadSpawner
         tracer = RingBufferTracer()
         sim = hypatia.build_packet_simulator(tracer=tracer)
         registry = MetricsRegistry()
         sim.attach_probe(registry=registry, interval_s=args.step)
-        TcpNewRenoFlow(src_gid, dst_gid).install(sim)
+        if pair is not None:
+            TcpNewRenoFlow(pair[0], pair[1]).install(sim)
+        spawner = (WorkloadSpawner(workload, metrics=registry).install(sim)
+                   if workload is not None else None)
         sim.run(args.duration)
         report = sim.report(registry=registry)
+        if spawner is not None:
+            report.extras["fct"] = spawner.fct_extras()
         if args.trace:
             tracer.to_jsonl(args.trace)
             print(f"wrote {tracer.summary()['retained']} trace events "
@@ -307,9 +383,9 @@ def _cmd_report(args) -> int:
             print("note: --trace applies to the packet engine only",
                   file=sys.stderr)
         registry = MetricsRegistry()
+        flows = [FluidFlow(pair[0], pair[1])] if pair is not None else []
         fluid = hypatia.build_fluid_simulation(
-            [FluidFlow(src_gid, dst_gid)], mode=args.engine,
-            metrics=registry)
+            flows, mode=args.engine, metrics=registry, workload=workload)
         result = fluid.run(args.duration, step_s=args.step)
         report = result.report(registry=registry)
 
@@ -345,6 +421,34 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_traffic(args) -> int:
+    from .traffic import FlowArrivalProcess, TrafficMatrix
+    if args.model == "gravity":
+        matrix = TrafficMatrix.gravity(
+            count=args.cities,
+            total_offered_bps=args.total_mbps * 1e6,
+            distance_exponent=args.distance_exponent)
+    else:
+        matrix = TrafficMatrix.permutation(
+            num_stations=args.cities, rate_bps=args.pair_mbps * 1e6)
+    process = FlowArrivalProcess(
+        matrix, mean_size_bytes=args.mean_size,
+        size_distribution=args.size_dist, seed=args.seed)
+    schedule = process.generate(args.duration)
+    schedule.to_json(args.output)
+    print(f"wrote {schedule.num_flows} flow arrivals over "
+          f"{args.duration:.0f}s ({matrix.kind} matrix, "
+          f"{len(schedule.pairs())} active pairs, seed {args.seed}) "
+          f"to {args.output}")
+    print(f"  offered load: "
+          f"{schedule.offered_load_bps(args.duration) / 1e6:.2f} Mbit/s "
+          f"(matrix target {matrix.total_offered_bps / 1e6:.2f})")
+    if args.matrix_out:
+        matrix.to_json(args.matrix_out)
+        print(f"wrote demand matrix to {args.matrix_out}")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "rtt": _cmd_rtt,
@@ -354,6 +458,7 @@ _COMMANDS = {
     "sky": _cmd_sky,
     "report": _cmd_report,
     "faults": _cmd_faults,
+    "traffic": _cmd_traffic,
 }
 
 

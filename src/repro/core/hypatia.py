@@ -188,21 +188,29 @@ class Hypatia:
                                forwarding_interval_s=forwarding_interval_s,
                                tracer=tracer)
 
-    def build_fluid_simulation(self, flows: Sequence[FluidFlow],
+    def build_fluid_simulation(self, flows: Sequence[FluidFlow] = (),
                                link_capacity_bps: float = 10_000_000.0,
                                mode: str = "aimd",
                                freeze_topology_at_s: Optional[float] = None,
-                               metrics: Optional["MetricsRegistry"] = None):
+                               metrics: Optional["MetricsRegistry"] = None,
+                               workload=None):
         """A fluid traffic engine over this network.
 
         Args:
-            flows: The long-running flows.
+            flows: Long-running flows (may be empty when ``workload``
+                supplies the traffic).
             link_capacity_bps: Uniform device capacity.
             mode: ``"aimd"`` (TCP-like dynamics, default) or ``"maxmin"``
                 (instant fair-share equilibrium).
             freeze_topology_at_s: Static-network baseline time, if any.
             metrics: Optional registry receiving per-snapshot series.
+            workload: Optional :class:`repro.traffic.WorkloadSchedule`;
+                its finite flows are appended after ``flows`` and the
+                engine re-solves on every arrival/completion.
         """
+        flows = list(flows)
+        if workload is not None:
+            flows.extend(workload.as_fluid_flows())
         if mode == "aimd":
             return AimdFluidSimulation(
                 self.network, flows, link_capacity_bps=link_capacity_bps,

@@ -92,16 +92,33 @@ class AimdFluidSimulation:
         #: Minimum sending rate: one MSS per RTT (nominal).
         self.floor_bps = mss_bytes * 8.0 / rtt_estimate_s
 
-    def _paths_at(self, time_s: float) -> List[Optional[Tuple[int, ...]]]:
+    def _paths_at(self, time_s: float,
+                  indices: Optional[Sequence[int]] = None
+                  ) -> List[Optional[Tuple[int, ...]]]:
         snapshot = self.network.snapshot(time_s)
         # One batched Dijkstra covers every flow's destination tree.
+        flows = (self.flows if indices is None
+                 else [self.flows[i] for i in indices])
         node_paths = self._engine.paths_many(
-            snapshot, [(flow.src_gid, flow.dst_gid) for flow in self.flows])
-        return [tuple(path) if path is not None else None
-                for path in node_paths]
+            snapshot, [(flow.src_gid, flow.dst_gid) for flow in flows])
+        paths = [tuple(path) if path is not None else None
+                 for path in node_paths]
+        if indices is None:
+            return paths
+        full: List[Optional[Tuple[int, ...]]] = [None] * len(self.flows)
+        for i, path in zip(indices, paths):
+            full[i] = path
+        return full
 
     def run(self, duration_s: float, step_s: float = 1.0) -> FluidResult:
-        """Simulate ``duration_s`` at ``step_s`` granularity."""
+        """Simulate ``duration_s`` at ``step_s`` granularity.
+
+        Finite flows (``size_bytes`` set) integrate their residual at
+        substep granularity: a flow entering at ``start_s`` begins at the
+        rate floor (slow-start restart), transfers at its AIMD rate, and
+        leaves the offered load once its residual reaches zero — the
+        completion time lands on the substep grid (within one RTT).
+        """
         wall_start = time.perf_counter()
         times = snapshot_times(duration_s, step_s)
         num_flows = len(self.flows)
@@ -122,6 +139,19 @@ class AimdFluidSimulation:
         all_paths: List[List[Optional[Tuple[int, ...]]]] = []
         all_loads: List[Dict[Hashable, float]] = []
 
+        starts = np.array([flow.start_s for flow in self.flows])
+        offered_bits = np.array([
+            flow.size_bytes * 8.0 if flow.size_bytes is not None else np.inf
+            for flow in self.flows])
+        residual_bits = offered_bits.copy()
+        delivered_bits = np.zeros(num_flows)
+        fct_s = np.full(num_flows, np.nan)
+        dynamic = bool((starts > 0.0).any()
+                       or np.isfinite(offered_bits).any())
+        # Flows starting at 0 keep the legacy fair-share-guess init; later
+        # arrivals enter at the rate floor when they activate.
+        active_mask = starts <= 0.0
+
         frozen_paths: Optional[List[Optional[Tuple[int, ...]]]] = None
         if self.freeze_topology_at_s is not None:
             frozen_paths = self._paths_at(self.freeze_topology_at_s)
@@ -138,8 +168,16 @@ class AimdFluidSimulation:
         flow_rtt = np.full(num_flows, self.rtt_estimate_s)
         faults = getattr(self.network, "fault_view", None)
         for t_index, time_s in enumerate(times):
-            paths = (frozen_paths if frozen_paths is not None
-                     else self._paths_at(float(time_s)))
+            step_end = float(time_s) + step_s
+            candidates = [i for i in range(num_flows)
+                          if residual_bits[i] > 0.0
+                          and starts[i] < step_end]
+            if frozen_paths is not None:
+                in_play = set(candidates)
+                paths = [frozen_paths[i] if i in in_play else None
+                         for i in range(num_flows)]
+            else:
+                paths = self._paths_at(float(time_s), candidates)
             devices = [
                 path_devices(path, self._num_sats) if path is not None
                 else None
@@ -188,10 +226,17 @@ class AimdFluidSimulation:
             served_bits: Dict[Hashable, float] = {}
             for sub in range(substeps):
                 sub_time = float(time_s) + sub * dt
+                if dynamic:
+                    # Activate flows whose start time has arrived; they
+                    # enter at the floor (slow-start restart semantics).
+                    for i in candidates:
+                        if not active_mask[i] and starts[i] <= sub_time:
+                            active_mask[i] = True
+                            rates[i] = self.floor_bps
                 # Offered load per device from current rates.
                 loads: Dict[Hashable, float] = {}
                 for i, devs in enumerate(devices):
-                    if devs is None:
+                    if devs is None or not active_mask[i]:
                         continue
                     for dev in devs:
                         loads[dev] = loads.get(dev, 0.0) + rates[i]
@@ -215,10 +260,31 @@ class AimdFluidSimulation:
                         backlog_bits[dev] -= drained
                         if backlog_bits[dev] <= 0.0:
                             del backlog_bits[dev]
+                if dynamic:
+                    # Residual-size integration: a finite flow transfers
+                    # at its sending rate and completes (leaving the
+                    # offered load) once its residual is gone.
+                    for i in candidates:
+                        if not active_mask[i] or devices[i] is None:
+                            continue
+                        if not np.isfinite(residual_bits[i]):
+                            delivered_bits[i] += rates[i] * dt
+                            continue
+                        served = min(rates[i] * dt, residual_bits[i])
+                        delivered_bits[i] += served
+                        residual_bits[i] -= served
+                        if residual_bits[i] <= 1e-3:
+                            residual_bits[i] = 0.0
+                            done = (sub_time + served / rates[i]
+                                    if rates[i] > 0.0 else sub_time + dt)
+                            fct_s[i] = done - starts[i]
+                            active_mask[i] = False
                 # AIMD reaction.
                 for i, devs in enumerate(devices):
                     if devs is None:
                         rates[i] = self.floor_bps  # restart on reconnection
+                        continue
+                    if not active_mask[i]:
                         continue
                     dropped = any(overflowing[dev] for dev in devs)
                     if (dropped and sub_time - last_decrease[i]
@@ -236,7 +302,7 @@ class AimdFluidSimulation:
                            for dev, bits in served_bits.items()}
             recorded = rates.copy()
             for i, devs in enumerate(devices):
-                if devs is None:
+                if devs is None or not active_mask[i]:
                     recorded[i] = 0.0
             out_rates[t_index] = recorded
             all_paths.append(list(paths))
@@ -252,6 +318,9 @@ class AimdFluidSimulation:
                 peak = max(utilization.values()) if utilization else 0.0
                 registry.series("fluid.peak_utilization").append(
                     float(time_s), peak / capacity)
+                if dynamic:
+                    registry.series("traffic.active_flows").append(
+                        float(time_s), float(int(active_mask.sum())))
 
         wall = time.perf_counter() - wall_start
         return FluidResult(times_s=times, flow_rates_bps=out_rates,
@@ -261,4 +330,10 @@ class AimdFluidSimulation:
                            link_capacity_bps=self.link_capacity_bps,
                            engine=self.ENGINE,
                            perf={"wall_time_s": wall,
-                                 "snapshots_computed": float(len(times))})
+                                 "snapshots_computed": float(len(times))},
+                           duration_s=float(duration_s),
+                           flow_offered_bits=(offered_bits if dynamic
+                                              else None),
+                           flow_delivered_bits=(delivered_bits if dynamic
+                                                else None),
+                           flow_fct_s=fct_s if dynamic else None)

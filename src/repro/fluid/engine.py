@@ -36,26 +36,54 @@ from .maxmin import max_min_fair_allocation
 
 __all__ = ["FluidFlow", "FluidResult", "FluidSimulation", "path_devices"]
 
+#: Event-time tolerance of the intra-step churn loop (seconds) — also the
+#: minimum sub-interval width, so the loop always advances.
+_TIME_EPS_S = 1e-9
+#: Residual below this many bits counts as a completed transfer (float
+#: round-off from ``rate · (residual / rate)`` is far below a byte).
+_RESIDUAL_EPS_BITS = 1e-3
+
 
 @dataclass(frozen=True)
 class FluidFlow:
-    """One long-running flow of the fluid model.
+    """One flow of the fluid model.
 
     Attributes:
         src_gid: Source ground station.
         dst_gid: Destination ground station.
         demand_bps: Rate cap (``inf`` models a greedy long-running TCP).
+        size_bytes: Transfer size; ``None`` (default) is a long-running
+            flow that never completes, a finite size makes the flow leave
+            the allocation once its residual reaches zero.
+        start_s: Arrival time; the flow takes no capacity before it.
     """
 
     src_gid: int
     dst_gid: int
     demand_bps: float = np.inf
+    size_bytes: Optional[float] = None
+    start_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.src_gid == self.dst_gid:
             raise ValueError("flow endpoints must differ")
-        if self.demand_bps <= 0.0:
-            raise ValueError("demand must be positive")
+        # ``not (x > 0)`` also rejects NaN, which ``x <= 0`` lets through.
+        if not (self.demand_bps > 0.0):
+            raise ValueError(
+                f"demand must be positive, got {self.demand_bps}")
+        if self.size_bytes is not None and not (
+                0.0 < self.size_bytes < float("inf")):
+            raise ValueError(
+                f"flow size must be positive and finite, "
+                f"got {self.size_bytes}")
+        if not (0.0 <= self.start_s < float("inf")):
+            raise ValueError(
+                f"start time must be finite and >= 0, got {self.start_s}")
+
+    @property
+    def is_finite(self) -> bool:
+        """Whether the flow completes (has a finite size)."""
+        return self.size_bytes is not None
 
 
 def path_devices(path: Sequence[int], num_satellites: int
@@ -90,6 +118,14 @@ class FluidResult:
         engine: Which engine produced the result ("maxmin" or "aimd").
         perf: Wall-clock accounting of the run (wall_time_s,
             snapshots_computed), filled by the engines.
+        duration_s: Simulated horizon of the run.
+        flow_offered_bits: (F,) per-flow offered volume — ``inf`` for
+            long-running flows; ``None`` for fully static workloads.
+        flow_delivered_bits: (F,) bits each flow actually transferred
+            over the run; ``None`` for fully static workloads.
+        flow_fct_s: (F,) flow completion time (completion − start);
+            ``nan`` for flows that never completed; ``None`` for fully
+            static workloads.
     """
 
     times_s: np.ndarray
@@ -100,6 +136,16 @@ class FluidResult:
     link_capacity_bps: float
     engine: str = "maxmin"
     perf: Dict[str, float] = field(default_factory=dict)
+    duration_s: float = 0.0
+    flow_offered_bits: Optional[np.ndarray] = None
+    flow_delivered_bits: Optional[np.ndarray] = None
+    flow_fct_s: Optional[np.ndarray] = None
+
+    def fct_values(self) -> np.ndarray:
+        """Completed flows' completion times (empty for static runs)."""
+        if self.flow_fct_s is None:
+            return np.empty(0)
+        return self.flow_fct_s[np.isfinite(self.flow_fct_s)]
 
     def perf_summary(self) -> Dict[str, float]:
         """Flat performance/accounting summary (report-facing) — the
@@ -118,6 +164,25 @@ class FluidResult:
             peak = max((max(loads.values()) if loads else 0.0)
                        for loads in self.device_load_bps)
             summary["peak_utilization"] = peak / self.link_capacity_bps
+        if self.flow_fct_s is not None:
+            fct = self.fct_values()
+            summary["flows_completed"] = float(len(fct))
+            if fct.size:
+                summary["fct_mean_s"] = float(fct.mean())
+                summary["fct_p50_s"] = float(np.percentile(fct, 50))
+                summary["fct_p99_s"] = float(np.percentile(fct, 99))
+                summary["fct_max_s"] = float(fct.max())
+            if self.flow_offered_bits is not None:
+                finite = np.isfinite(self.flow_offered_bits)
+                summary["flows_finite"] = float(finite.sum())
+                if self.duration_s > 0.0:
+                    summary["offered_load_bps"] = float(
+                        self.flow_offered_bits[finite].sum()
+                    ) / self.duration_s
+                    if self.flow_delivered_bits is not None:
+                        summary["delivered_load_bps"] = float(
+                            self.flow_delivered_bits[finite].sum()
+                        ) / self.duration_s
         summary.update(self.perf)
         wall = self.perf.get("wall_time_s", 0.0)
         if wall > 0.0:
@@ -202,22 +267,52 @@ class FluidSimulation:
         self._engine = RoutingEngine(network)
         self._num_sats = network.num_satellites
 
-    def _paths_at(self, snapshot: TopologySnapshot
+    def _paths_at(self, snapshot: TopologySnapshot,
+                  indices: Optional[Sequence[int]] = None
                   ) -> List[Optional[Tuple[int, ...]]]:
         # One batched Dijkstra covers every flow's destination tree.
+        flows = (self.flows if indices is None
+                 else [self.flows[i] for i in indices])
         node_paths = self._engine.paths_many(
-            snapshot, [(flow.src_gid, flow.dst_gid) for flow in self.flows])
-        return [tuple(path) if path is not None else None
-                for path in node_paths]
+            snapshot, [(flow.src_gid, flow.dst_gid) for flow in flows])
+        paths = [tuple(path) if path is not None else None
+                 for path in node_paths]
+        if indices is None:
+            return paths
+        full: List[Optional[Tuple[int, ...]]] = [None] * len(self.flows)
+        for i, path in zip(indices, paths):
+            full[i] = path
+        return full
 
     def run(self, duration_s: float, step_s: float = 1.0) -> FluidResult:
-        """Simulate ``duration_s`` at ``step_s`` granularity."""
+        """Simulate ``duration_s`` at ``step_s`` granularity.
+
+        A static workload (every flow starting at 0, no finite sizes)
+        solves one allocation per snapshot, exactly as a long-running
+        permutation run always has.  A dynamic workload additionally
+        re-solves *within* a step at every flow arrival and predicted
+        completion, integrating each finite flow's residual size through
+        the sub-intervals so flows complete and leave the allocation;
+        the recorded per-snapshot rates/loads are always the allocation
+        at the snapshot instant.
+        """
         wall_start = time.perf_counter()
         times = snapshot_times(duration_s, step_s)
         num_flows = len(self.flows)
         rates = np.zeros((len(times), num_flows))
         all_paths: List[List[Optional[Tuple[int, ...]]]] = []
         all_loads: List[Dict[Hashable, float]] = []
+
+        starts = np.array([flow.start_s for flow in self.flows])
+        offered_bits = np.array([
+            flow.size_bytes * 8.0 if flow.size_bytes is not None else np.inf
+            for flow in self.flows])
+        residual_bits = offered_bits.copy()
+        delivered_bits = np.zeros(num_flows)
+        fct_s = np.full(num_flows, np.nan)
+        dynamic = bool((starts > 0.0).any()
+                       or np.isfinite(offered_bits).any())
+        solves = 0
 
         frozen_paths: Optional[List[Optional[Tuple[int, ...]]]] = None
         if self.freeze_topology_at_s is not None:
@@ -226,22 +321,26 @@ class FluidSimulation:
 
         faults = getattr(self.network, "fault_view", None)
         for t_index, time_s in enumerate(times):
+            time_s = float(time_s)
+            step_end = time_s + step_s
+            # Flows that could take capacity somewhere in this step:
+            # already or soon started, not yet fully transferred.
+            candidates = [i for i in range(num_flows)
+                          if residual_bits[i] > 0.0
+                          and starts[i] < step_end]
             if frozen_paths is not None:
-                paths = frozen_paths
+                in_play = set(candidates)
+                paths: List[Optional[Tuple[int, ...]]] = [
+                    frozen_paths[i] if i in in_play else None
+                    for i in range(num_flows)]
             else:
-                snapshot = self.network.snapshot(float(time_s))
-                paths = self._paths_at(snapshot)
-            flow_links: List[List[Hashable]] = []
-            demands: List[float] = []
-            connected: List[int] = []
-            for i, path in enumerate(paths):
-                if path is None:
-                    continue
-                connected.append(i)
-                flow_links.append(path_devices(path, self._num_sats))
-                demands.append(self.flows[i].demand_bps)
+                snapshot = self.network.snapshot(time_s)
+                paths = self._paths_at(snapshot, candidates)
+            flow_links: Dict[int, List[Hashable]] = {
+                i: path_devices(paths[i], self._num_sats)
+                for i in candidates if paths[i] is not None}
             capacities: Dict[Hashable, float] = {}
-            for links in flow_links:
+            for links in flow_links.values():
                 for link in links:
                     capacity = self.capacity_overrides.get(
                         link, self.link_capacity_bps)
@@ -250,34 +349,88 @@ class FluidSimulation:
                         # over them — frozen-topology mode — get rate 0);
                         # lossy ones shrink to the expected goodput.
                         capacity *= faults.capacity_factor(
-                            link, self._num_sats, float(time_s))
+                            link, self._num_sats, time_s)
                     capacities[link] = capacity
-            allocated = max_min_fair_allocation(
-                capacities, flow_links,
-                demands=[min(d, 100.0 * self.link_capacity_bps)
-                         for d in demands])
-            loads: Dict[Hashable, float] = {}
-            for links, rate in zip(flow_links, allocated):
-                for link in links:
-                    loads[link] = loads.get(link, 0.0) + rate
-            for local_index, i in enumerate(connected):
-                rates[t_index, i] = allocated[local_index]
-            all_paths.append(list(paths))
-            all_loads.append(loads)
-            self._record_metrics(float(time_s), rates[t_index], loads)
+
+            # Sub-event loop: [time_s, step_end) split at every arrival
+            # and predicted completion; one max-min solve per interval.
+            tau = time_s
+            recorded = False
+            while True:
+                active = [i for i in candidates
+                          if starts[i] <= tau + _TIME_EPS_S
+                          and residual_bits[i] > 0.0
+                          and i in flow_links]
+                links_list = [flow_links[i] for i in active]
+                allocated = max_min_fair_allocation(
+                    capacities, links_list,
+                    demands=[min(self.flows[i].demand_bps,
+                                 100.0 * self.link_capacity_bps)
+                             for i in active])
+                solves += 1
+                if not recorded:
+                    loads: Dict[Hashable, float] = {}
+                    for links, rate in zip(links_list, allocated):
+                        for link in links:
+                            loads[link] = loads.get(link, 0.0) + rate
+                    for local_index, i in enumerate(active):
+                        rates[t_index, i] = allocated[local_index]
+                    all_paths.append(list(paths))
+                    all_loads.append(loads)
+                    self._record_metrics(
+                        time_s, rates[t_index], loads,
+                        active_count=len(active) if dynamic else None)
+                    recorded = True
+                next_tau = step_end
+                for i in candidates:
+                    if tau + _TIME_EPS_S < starts[i] < next_tau:
+                        next_tau = starts[i]
+                for local_index, i in enumerate(active):
+                    rate = allocated[local_index]
+                    if rate > 0.0 and np.isfinite(residual_bits[i]):
+                        done = tau + max(residual_bits[i] / rate,
+                                         _TIME_EPS_S)
+                        if done < next_tau:
+                            next_tau = done
+                dt = next_tau - tau
+                if dt > 0.0:
+                    for local_index, i in enumerate(active):
+                        rate = allocated[local_index]
+                        if rate <= 0.0:
+                            continue
+                        served = min(rate * dt, residual_bits[i])
+                        delivered_bits[i] += served
+                        if np.isfinite(residual_bits[i]):
+                            residual_bits[i] -= served
+                            if residual_bits[i] <= _RESIDUAL_EPS_BITS:
+                                residual_bits[i] = 0.0
+                                fct_s[i] = next_tau - starts[i]
+                tau = next_tau
+                if tau >= step_end - _TIME_EPS_S:
+                    break
 
         wall = time.perf_counter() - wall_start
+        perf = {"wall_time_s": wall,
+                "snapshots_computed": float(len(times))}
+        if dynamic:
+            perf["allocations_solved"] = float(solves)
         return FluidResult(times_s=times, flow_rates_bps=rates,
                            flow_paths=all_paths,
                            device_load_bps=all_loads,
                            num_satellites=self._num_sats,
                            link_capacity_bps=self.link_capacity_bps,
                            engine=self.ENGINE,
-                           perf={"wall_time_s": wall,
-                                 "snapshots_computed": float(len(times))})
+                           perf=perf,
+                           duration_s=float(duration_s),
+                           flow_offered_bits=(offered_bits if dynamic
+                                              else None),
+                           flow_delivered_bits=(delivered_bits if dynamic
+                                                else None),
+                           flow_fct_s=fct_s if dynamic else None)
 
     def _record_metrics(self, time_s: float, rates_row: np.ndarray,
-                        loads: Dict[Hashable, float]) -> None:
+                        loads: Dict[Hashable, float],
+                        active_count: Optional[int] = None) -> None:
         registry = self.metrics
         if registry is None:
             return
@@ -288,3 +441,6 @@ class FluidSimulation:
         peak = max(loads.values()) if loads else 0.0
         registry.series("fluid.peak_utilization").append(
             time_s, peak / self.link_capacity_bps)
+        if active_count is not None:
+            registry.series("traffic.active_flows").append(
+                time_s, float(active_count))

@@ -21,7 +21,14 @@ if TYPE_CHECKING:  # runtime-import-free: obs must not depend on the layers
     from ..simulation.simulator import PacketSimulator
 
 __all__ = ["RunReport", "packet_run_report", "fluid_run_report",
-           "WALL_CLOCK_KEYS"]
+           "WALL_CLOCK_KEYS", "FCT_BUCKETS"]
+
+#: Canonical flow-completion-time histogram bounds (seconds) — wider than
+#: the generic latency buckets because FCTs span millisecond pings to
+#: minute-long heavy-tail transfers.  Shared by the fluid report extras
+#: and the packet-side workload spawner so their distributions compare
+#: bucket-for-bucket.
+FCT_BUCKETS = (0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0)
 
 #: Report schema version (bump on breaking shape changes).
 REPORT_VERSION = 1
@@ -95,6 +102,13 @@ class RunReport:
                 lines.append(f"  {key}: {value:.6g}")
             else:
                 lines.append(f"  {key}: {value}")
+        fct = self.extras.get("fct")
+        if fct is not None:
+            lines.append(
+                f"  fct: {fct.get('flows_completed', 0)}/"
+                f"{fct.get('flows_finite', 0)} flows completed, "
+                f"{fct.get('delivered_bits', 0.0):.6g}/"
+                f"{fct.get('offered_bits', 0.0):.6g} bits delivered")
         if self.trace is not None:
             lines.append(f"  trace: {self.trace.get('retained', 0)} events "
                          f"retained ({self.trace.get('emitted', 0)} emitted)")
@@ -132,11 +146,37 @@ def packet_run_report(sim: "PacketSimulator", duration_s: float,
 def fluid_run_report(result: "FluidResult",
                      registry: Optional[MetricsRegistry] = None,
                      include_series: bool = True) -> RunReport:
-    """Build the report of a fluid-engine run (max-min or AIMD)."""
+    """Build the report of a fluid-engine run (max-min or AIMD).
+
+    Workload-driven runs (finite flows) additionally carry an ``fct``
+    extras section: the completion-time distribution over
+    :data:`FCT_BUCKETS` plus per-run offered/delivered totals.
+    """
     summary = result.perf_summary()
     metrics = (registry.as_dict(include_series=include_series)
                if registry is not None else None)
+    duration = result.duration_s if result.duration_s > 0.0 else (
+        float(result.times_s[-1]) if len(result.times_s) else 0.0)
+    extras: Dict[str, Any] = {}
+    if result.flow_fct_s is not None:
+        from .metrics import Histogram
+        histogram = Histogram("traffic.fct_s", buckets=FCT_BUCKETS)
+        for value in result.fct_values():
+            histogram.observe(float(value))
+        import numpy as np
+        finite = (np.isfinite(result.flow_offered_bits)
+                  if result.flow_offered_bits is not None else None)
+        extras["fct"] = {
+            "histogram": histogram.as_dict(),
+            "flows_finite": int(finite.sum()) if finite is not None else 0,
+            "flows_completed": int(histogram.count),
+            "offered_bits": (float(result.flow_offered_bits[finite].sum())
+                             if finite is not None else 0.0),
+            "delivered_bits": (
+                float(result.flow_delivered_bits[finite].sum())
+                if result.flow_delivered_bits is not None
+                and finite is not None else 0.0),
+        }
     return RunReport(kind=f"fluid.{result.engine}",
-                     duration_s=float(result.times_s[-1])
-                     if len(result.times_s) else 0.0,
-                     summary=summary, metrics=metrics)
+                     duration_s=duration,
+                     summary=summary, metrics=metrics, extras=extras)

@@ -17,7 +17,7 @@ engine's serial-equals-parallel contract rests on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
@@ -25,6 +25,7 @@ import numpy as np
 from ..constellations.builder import Constellation
 from ..faults.schedule import FaultSchedule
 from ..ground.stations import GroundStation
+from ..traffic.arrivals import WorkloadSchedule
 from ..ground.weather import WeatherModel
 from ..orbits.shell import Shell
 from ..topology.gsl import GslPolicy
@@ -94,6 +95,9 @@ class NetworkSpec:
         faults: Optional fault schedule (plain data too) — carrying it
             here is what keeps faulted parallel sweeps bit-identical to
             serial ones.
+        workload: Optional workload schedule (plain data as well).  The
+            network build ignores it; it rides along so workload-driven
+            sweeps track exactly the same pair set in every worker.
     """
 
     shells: Tuple[Shell, ...]
@@ -106,6 +110,12 @@ class NetworkSpec:
     failed_satellites: Tuple[int, ...] = ()
     weather: Optional[WeatherModel] = field(default=None)
     faults: Optional[FaultSchedule] = field(default=None)
+    workload: Optional[WorkloadSchedule] = field(default=None)
+
+    def with_workload(self, workload: Optional[WorkloadSchedule]
+                      ) -> "NetworkSpec":
+        """A copy of this spec carrying ``workload``."""
+        return replace(self, workload=workload)
 
     def __post_init__(self) -> None:
         if self.isl_builder not in ISL_BUILDERS:

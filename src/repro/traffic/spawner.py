@@ -1,0 +1,180 @@
+"""Workload-driven application spawning for the packet simulator.
+
+The fluid engines consume a :class:`~repro.traffic.arrivals.
+WorkloadSchedule` directly (finite flows with start times); the packet
+simulator consumes it through this module: a :class:`WorkloadSpawner`
+installs one finite TCP transfer per :class:`~repro.traffic.arrivals.
+FlowRequest` and records flow-completion times as they happen.
+
+Observability: given a :class:`~repro.obs.metrics.MetricsRegistry`, the
+spawner maintains the ``traffic.*`` instruments — an FCT histogram, the
+offered/delivered byte counters, and an active-flow-count series sampled
+at every arrival and completion — which flow into the packet run's
+:class:`~repro.obs.report.RunReport` like any other registry contents.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.report import FCT_BUCKETS
+from ..simulation.packet import DEFAULT_HEADER_BYTES, DEFAULT_MTU_BYTES
+from ..simulation.simulator import PacketSimulator
+from ..transport.base import Application
+from ..transport.tcp import TcpNewRenoFlow
+from .arrivals import FlowRequest, WorkloadSchedule
+
+__all__ = ["WorkloadSpawner", "FCT_BUCKETS"]
+
+
+class WorkloadSpawner:
+    """Run a workload schedule as finite TCP transfers on a packet sim.
+
+    Args:
+        schedule: The flow requests to spawn.
+        packet_bytes: Wire size of a full data packet (paper: 1500).
+        metrics: Optional registry receiving the ``traffic.*``
+            instruments.
+        flow_factory: Optional override building the application of one
+            request (default: a :class:`TcpNewRenoFlow` sized to the
+            request).  The factory's application must expose
+            ``on_complete`` and ``completed_at_s`` like the TCP flows do.
+
+    Example::
+
+        sim = hypatia.build_packet_simulator()
+        spawner = WorkloadSpawner(schedule, metrics=registry).install(sim)
+        sim.run(duration_s)
+        print(spawner.summary())
+    """
+
+    def __init__(self, schedule: WorkloadSchedule,
+                 packet_bytes: int = DEFAULT_MTU_BYTES,
+                 metrics: Optional[MetricsRegistry] = None,
+                 flow_factory: Optional[
+                     Callable[[FlowRequest], Application]] = None) -> None:
+        if packet_bytes <= DEFAULT_HEADER_BYTES:
+            raise ValueError("packet must be larger than its headers")
+        self.schedule = schedule
+        self.packet_bytes = packet_bytes
+        self.metrics = metrics
+        self._factory = flow_factory or self._default_factory
+        self.flows: List[Application] = []
+        self.fcts_s: List[float] = []
+        self.started = 0
+        self.completed = 0
+        self._active = 0
+        self._delivered_bytes = 0.0
+        self.sim: Optional[PacketSimulator] = None
+
+    def _default_factory(self, request: FlowRequest) -> Application:
+        payload = self.packet_bytes - DEFAULT_HEADER_BYTES
+        return TcpNewRenoFlow(
+            request.src_gid, request.dst_gid,
+            start_s=request.t_start_s,
+            packet_bytes=self.packet_bytes,
+            max_packets=max(1, math.ceil(request.size_bytes / payload)))
+
+    # ------------------------------------------------------------------
+
+    def install(self, sim: PacketSimulator) -> "WorkloadSpawner":
+        """Install every request's transfer; returns self for chaining."""
+        if self.sim is not None:
+            raise RuntimeError("spawner is already installed")
+        self.sim = sim
+        registry = self.metrics
+        if registry is not None:
+            # Claim the instruments up front so an empty run still
+            # reports zeroed traffic accounting.
+            registry.histogram("traffic.fct_s", buckets=FCT_BUCKETS)
+            registry.counter("traffic.flows_started")
+            registry.counter("traffic.flows_completed")
+            registry.counter("traffic.offered_bytes").inc(
+                float(sum(r.size_bytes for r in self.schedule)))
+            registry.counter("traffic.delivered_bytes")
+            registry.series("traffic.active_flows")
+        for request in self.schedule:
+            app = self._factory(request).install(sim)
+            app.on_complete = self._completion_hook(request)  # type: ignore
+            self.flows.append(app)
+            sim.scheduler.schedule_at(request.t_start_s,
+                                      self._make_on_start())
+        return self
+
+    def _make_on_start(self) -> Callable[[], None]:
+        def on_start() -> None:
+            assert self.sim is not None
+            self.started += 1
+            self._active += 1
+            registry = self.metrics
+            if registry is not None:
+                registry.counter("traffic.flows_started").inc()
+                registry.series("traffic.active_flows").append(
+                    self.sim.now, float(self._active))
+        return on_start
+
+    def _completion_hook(self, request: FlowRequest
+                         ) -> Callable[[float], None]:
+        def on_complete(now_s: float) -> None:
+            fct = now_s - request.t_start_s
+            self.completed += 1
+            self._active -= 1
+            self._delivered_bytes += float(request.size_bytes)
+            self.fcts_s.append(fct)
+            registry = self.metrics
+            if registry is not None:
+                registry.counter("traffic.flows_completed").inc()
+                registry.counter("traffic.delivered_bytes").inc(
+                    float(request.size_bytes))
+                registry.histogram("traffic.fct_s",
+                                   buckets=FCT_BUCKETS).observe(fct)
+                registry.series("traffic.active_flows").append(
+                    now_s, float(self._active))
+        return on_complete
+
+    # ------------------------------------------------------------------
+
+    @property
+    def active(self) -> int:
+        """Flows started but not yet completed."""
+        return self._active
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat FCT / load accounting (report-facing)."""
+        summary: Dict[str, Any] = {
+            "flows_offered": float(self.schedule.num_flows),
+            "flows_started": float(self.started),
+            "flows_completed": float(self.completed),
+            "offered_bytes": float(
+                sum(r.size_bytes for r in self.schedule)),
+            "delivered_bytes": float(self._delivered_bytes),
+        }
+        if self.fcts_s:
+            import numpy as np
+            fcts = np.asarray(self.fcts_s)
+            summary.update({
+                "fct_mean_s": float(fcts.mean()),
+                "fct_p50_s": float(np.percentile(fcts, 50)),
+                "fct_p99_s": float(np.percentile(fcts, 99)),
+                "fct_max_s": float(fcts.max()),
+            })
+        return summary
+
+    def fct_extras(self) -> Dict[str, Any]:
+        """The ``fct`` extras section of a :class:`~repro.obs.report.
+        RunReport` — the same shape :func:`repro.obs.report.
+        fluid_run_report` emits, so packet and fluid FCT distributions
+        compare bucket-for-bucket."""
+        from ..obs.metrics import Histogram
+        histogram = Histogram("traffic.fct_s", buckets=FCT_BUCKETS)
+        for fct in self.fcts_s:
+            histogram.observe(fct)
+        return {
+            "histogram": histogram.as_dict(),
+            "flows_finite": int(self.schedule.num_flows),
+            "flows_completed": int(self.completed),
+            "offered_bits": self.schedule.offered_bits,
+            "delivered_bits": float(self._delivered_bytes) * 8.0,
+        }

@@ -25,7 +25,7 @@ paper's plots are scaled ("# of packets").
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -127,6 +127,14 @@ class TcpNewRenoFlow(Application):
         self._delack_armed = False
         self._reordered_arrivals = 0
         self._bins: List[float] = []
+
+        # --- completion ---
+        #: When the last data packet was cumulatively acked (finite
+        #: transfers only; None while running or for unbounded flows).
+        self.completed_at_s: Optional[float] = None
+        #: Optional callback ``on_complete(now_s)`` fired once, when the
+        #: transfer completes (workload spawners hook FCT recording here).
+        self.on_complete: Optional[Callable[[float], None]] = None
 
         # --- logs ---
         self.cwnd_log = TimeSeriesLog()
@@ -304,6 +312,11 @@ class TcpNewRenoFlow(Application):
             else:
                 self._increase_on_ack(newly_acked)
             self._restart_rto()
+            if (self.completed_at_s is None
+                    and self.snd_una >= self.max_packets):
+                self.completed_at_s = now
+                if self.on_complete is not None:
+                    self.on_complete(now)
         elif ack == self.snd_una and self.flight_size > 0:
             self.dup_acks += 1
 

@@ -221,3 +221,81 @@ class TestAimdFluid:
         with pytest.raises(ValueError):
             AimdFluidSimulation(small_network, [FluidFlow(0, 1)],
                                 queue_packets=-1)
+
+
+class TestFluidFlowValidation:
+    """Regression: NaN demand must be rejected, not silently accepted."""
+
+    def test_nan_demand_rejected(self):
+        with pytest.raises(ValueError, match="demand"):
+            FluidFlow(0, 1, demand_bps=float("nan"))
+
+    def test_negative_and_zero_demand_rejected(self):
+        for demand in (0.0, -5.0, float("-inf")):
+            with pytest.raises(ValueError):
+                FluidFlow(0, 1, demand_bps=demand)
+
+    def test_size_and_start_validated(self):
+        for size in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                FluidFlow(0, 1, size_bytes=size)
+        for start in (-1.0, float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                FluidFlow(0, 1, start_s=start)
+        flow = FluidFlow(0, 1, size_bytes=100.0, start_s=2.0)
+        assert flow.is_finite
+        assert not FluidFlow(0, 1).is_finite
+
+
+class TestPerfSummaryEdgeCases:
+    """FluidResult.perf_summary on degenerate results."""
+
+    @staticmethod
+    def _result(**overrides):
+        from repro.fluid.engine import FluidResult
+        defaults = dict(
+            times_s=np.array([0.0, 1.0]),
+            flow_rates_bps=np.zeros((2, 0)),
+            flow_paths=[[], []],
+            device_load_bps=[{}, {}],
+            num_satellites=100,
+            link_capacity_bps=10e6,
+        )
+        defaults.update(overrides)
+        return FluidResult(**defaults)
+
+    def test_zero_flows(self):
+        summary = self._result().perf_summary()
+        assert summary["flows"] == 0.0
+        assert summary["flows_ever_connected"] == 0.0
+        assert summary["mean_rate_bps"] == 0.0
+        assert "fct_mean_s" not in summary
+
+    def test_all_disconnected_flows(self):
+        result = self._result(
+            flow_rates_bps=np.zeros((2, 3)),
+            flow_paths=[[None] * 3, [None] * 3])
+        summary = result.perf_summary()
+        assert summary["flows"] == 3.0
+        assert summary["flows_ever_connected"] == 0.0
+        assert summary["peak_utilization"] == 0.0
+
+    def test_empty_device_load(self):
+        summary = self._result(device_load_bps=[]).perf_summary()
+        assert "peak_utilization" not in summary
+
+    def test_no_completions_reports_zero_fct(self):
+        result = self._result(
+            flow_rates_bps=np.zeros((2, 1)),
+            flow_paths=[[None], [None]],
+            duration_s=2.0,
+            flow_offered_bits=np.array([8000.0]),
+            flow_delivered_bits=np.array([0.0]),
+            flow_fct_s=np.array([np.nan]))
+        summary = result.perf_summary()
+        assert summary["flows_completed"] == 0.0
+        assert "fct_mean_s" not in summary
+        assert summary["flows_finite"] == 1.0
+        assert summary["offered_load_bps"] == pytest.approx(4000.0)
+        assert summary["delivered_load_bps"] == 0.0
+        assert result.fct_values().size == 0
