@@ -5,9 +5,10 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check test smoke bench bench-fig2 bench-obs bench-sweep \
-	bench-faults bench-traffic clean
+	bench-faults bench-traffic bench-fluid-scale clean
 
-check: test smoke bench-obs bench-sweep bench-faults bench-traffic
+check: test smoke bench-obs bench-sweep bench-faults bench-traffic \
+	bench-fluid-scale
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -41,6 +42,13 @@ bench-faults:
 # allocations, and complete on the Starlink S1 shell.
 bench-traffic:
 	$(PYTHON) -m pytest benchmarks/test_traffic_churn.py -q -o testpaths=
+
+# Fluid-core scale gate: the vectorized max-min kernel must match the
+# Python oracle bit-for-bit, and solve a 100-city gravity snapshot with
+# >= 1e5 concurrent flows at >= 10x the per-flow solver (throughput
+# half auto-skips below 4 cores).  Appends results/BENCH_fluid_scale.json.
+bench-fluid-scale:
+	$(PYTHON) -m pytest benchmarks/test_fluid_scale.py -q -o testpaths=
 
 # The scalability benches touched by the batched routing path.
 bench-fig2:

@@ -1,0 +1,205 @@
+"""Fluid-core scale gate (the `make bench-fluid-scale` part of `make check`).
+
+The vectorized fluid-core contract (DESIGN.md "Vectorized fluid core"):
+
+* **Equality, always asserted.**  The array waterfilling kernel must be
+  bit-identical to the fixed pure-Python progressive-filling oracle —
+  on random scenarios with repeated link traversals and demand caps, on
+  a static permutation workload run end-to-end through
+  ``FluidSimulation`` with both kernels, and on the full-scale gravity
+  allocation below.
+* **Scale, gated on machine capability.**  A 100-city gravity matrix
+  with >= 1e5 concurrent flows per snapshot must solve at interactive
+  speed, >= 10x faster than the per-flow Python solver on the same
+  workload.  Like the `bench-sweep` speedup gate, the throughput
+  thresholds are only enforced on machines with >= 4 cores; the numbers
+  are measured and reported everywhere.
+
+Every run appends one record to ``results/BENCH_fluid_scale.json`` so
+the throughput trajectory across commits/machines is preserved.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import Hypatia
+from repro.fluid.engine import (FluidFlow, FluidSimulation,
+                                flow_link_matrix_from_paths, path_devices)
+from repro.fluid.maxmin import max_min_fair_allocation
+from repro.fluid.vectorized import (max_min_fair_allocation_vectorized,
+                                    waterfill)
+from repro.traffic import TrafficMatrix
+
+from _common import RESULTS_DIR, scaled, write_result
+
+NUM_CITIES = 100
+NUM_FLOWS = scaled(100_000, 1_000_000)
+LINK_CAPACITY_BPS = 10e6
+MIN_SPEEDUP = 10.0
+MAX_SOLVE_S = 2.0  # "interactive speed": one snapshot allocation budget
+SPEEDUP_CORES = 4
+TRAJECTORY_PATH = RESULTS_DIR / "BENCH_fluid_scale.json"
+
+_CACHE = {}
+
+
+def _gravity_paths():
+    """The scale workload: K1, 100-city gravity, one snapshot's paths."""
+    if not _CACHE:
+        hypatia = Hypatia.from_shell_name("K1", num_cities=NUM_CITIES)
+        matrix = TrafficMatrix.gravity(count=NUM_CITIES,
+                                       total_offered_bps=1e9)
+        demand = np.array(matrix.demand_bps, dtype=float).copy()
+        np.fill_diagonal(demand, 0.0)
+        rng = np.random.default_rng(42)
+        probability = (demand / demand.sum()).ravel()
+        # Oversample: self-pairs and disconnected stations are dropped
+        # below, and the solve must still see >= NUM_FLOWS rows.
+        draws = rng.choice(probability.size, size=int(NUM_FLOWS * 1.05),
+                           p=probability)
+        src, dst = np.divmod(draws, NUM_CITIES)
+        keep = src != dst
+        flows = [FluidFlow(int(s), int(d))
+                 for s, d in zip(src[keep], dst[keep])]
+        sim = FluidSimulation(hypatia.network, flows,
+                              link_capacity_bps=LINK_CAPACITY_BPS)
+        start = time.perf_counter()
+        paths = sim._paths_at(hypatia.network.snapshot(0.0))
+        _CACHE["paths_s"] = time.perf_counter() - start
+        _CACHE["paths"] = [p for p in paths if p is not None][:NUM_FLOWS]
+        _CACHE["num_sats"] = hypatia.network.num_satellites
+        _CACHE["num_nodes"] = hypatia.network.num_nodes
+    return _CACHE
+
+
+def _append_trajectory(record):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    history = []
+    if TRAJECTORY_PATH.exists():
+        try:
+            history = json.loads(TRAJECTORY_PATH.read_text())
+        except (ValueError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = []
+    history.append(record)
+    TRAJECTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_kernels_bit_identical_on_random_scenarios():
+    """Random capacities/paths/demands — loop paths included."""
+    rng = np.random.default_rng(7)
+    for _ in range(200):
+        links = [f"l{j}" for j in range(rng.integers(1, 8))]
+        capacity = {link: float(rng.uniform(0.5, 50.0)) for link in links}
+        num_flows = int(rng.integers(1, 12))
+        flow_links = [list(rng.choice(links, size=rng.integers(1, 6)))
+                      for _ in range(num_flows)]
+        demands = (rng.uniform(0.1, 40.0, size=num_flows)
+                   if rng.random() < 0.5 else None)
+        expected = max_min_fair_allocation(capacity, flow_links, demands)
+        got = max_min_fair_allocation_vectorized(capacity, flow_links,
+                                                 demands)
+        assert np.array_equal(expected, got), (capacity, flow_links,
+                                               demands)
+
+
+def test_static_permutation_bit_identical():
+    """End-to-end FluidSimulation parity on a permutation workload."""
+    from repro import random_permutation_pairs
+    hypatia = Hypatia.from_shell_name("K1", num_cities=NUM_CITIES)
+    pairs = random_permutation_pairs(NUM_CITIES)
+    flows = [FluidFlow(src, dst) for src, dst in pairs]
+    results = {}
+    for kernel in ("reference", "vectorized"):
+        sim = FluidSimulation(hypatia.network, flows,
+                              link_capacity_bps=LINK_CAPACITY_BPS,
+                              kernel=kernel)
+        results[kernel] = sim.run(duration_s=4.0, step_s=2.0)
+    ref, vec = results["reference"], results["vectorized"]
+    assert np.array_equal(ref.flow_rates_bps, vec.flow_rates_bps)
+    assert ref.device_load_bps == vec.device_load_bps
+    assert ref.flow_paths == vec.flow_paths
+
+
+def test_gravity_scale():
+    """>= 1e5 concurrent flows per snapshot, vectorized vs the oracle.
+
+    Equality at full scale is always asserted; the throughput
+    thresholds only gate on capable machines (>= 4 cores).
+    """
+    cache = _gravity_paths()
+    paths, num_sats = cache["paths"], cache["num_sats"]
+    num_nodes = cache["num_nodes"]
+
+    # Vectorized: the engine's own build path + the waterfill kernel.
+    build_start = time.perf_counter()
+    matrix, _ = flow_link_matrix_from_paths(
+        paths, num_sats, num_nodes, lambda key: LINK_CAPACITY_BPS)
+    build_s = time.perf_counter() - build_start
+    waterfill(matrix)  # warm caches/allocator before timing
+    vec_solve_s = np.inf
+    for _ in range(3):
+        start = time.perf_counter()
+        rates_vec = waterfill(matrix)
+        vec_solve_s = min(vec_solve_s, time.perf_counter() - start)
+
+    # Reference: the per-flow Python solver on the same workload.
+    conv_start = time.perf_counter()
+    flow_links = [path_devices(path, num_sats) for path in paths]
+    capacity = {key: LINK_CAPACITY_BPS for key in matrix.link_keys}
+    ref_build_s = time.perf_counter() - conv_start
+    start = time.perf_counter()
+    rates_ref = max_min_fair_allocation(capacity, flow_links)
+    ref_solve_s = time.perf_counter() - start
+
+    assert np.array_equal(rates_ref, rates_vec), (
+        "vectorized kernel diverged from the oracle at scale")
+
+    speedup = ref_solve_s / vec_solve_s
+    capable = (os.cpu_count() or 1) >= SPEEDUP_CORES
+    rows = [
+        "# fluid-core scale gate (100-city gravity, one snapshot)",
+        f"flows                 {len(paths):10d}",
+        f"links                 {matrix.num_links:10d}",
+        f"traversals            {matrix.nnz:10d}",
+        f"paths_wall_s          {cache['paths_s']:10.3f}",
+        f"matrix_build_s        {build_s:10.3f}",
+        f"vectorized_solve_s    {vec_solve_s:10.3f}",
+        f"reference_build_s     {ref_build_s:10.3f}",
+        f"reference_solve_s     {ref_solve_s:10.3f}",
+        f"speedup               {speedup:10.1f}",
+        f"min_speedup           {MIN_SPEEDUP:10.1f}",
+        f"max_solve_s           {MAX_SOLVE_S:10.2f}",
+        f"bit_identical         {'yes':>10}",
+        f"thresholds_enforced   {('yes' if capable else 'no'):>10}",
+    ]
+    write_result("fluid_scale", rows)
+    _append_trajectory({
+        "timestamp": time.time(),
+        "flows": len(paths),
+        "links": matrix.num_links,
+        "traversals": matrix.nnz,
+        "paths_wall_s": cache["paths_s"],
+        "matrix_build_s": build_s,
+        "vectorized_solve_s": vec_solve_s,
+        "reference_solve_s": ref_solve_s,
+        "speedup": speedup,
+        "full_scale": NUM_FLOWS != 100_000,
+        "cpu_count": os.cpu_count() or 1,
+    })
+
+    assert len(paths) >= NUM_FLOWS, "scale gate lost workload rows"
+    if not capable:
+        pytest.skip(f"throughput gate needs >= {SPEEDUP_CORES} cores "
+                    f"(measured {speedup:.1f}x, {vec_solve_s:.3f}s)")
+    assert vec_solve_s <= MAX_SOLVE_S, (
+        f"vectorized solve took {vec_solve_s:.2f}s per snapshot "
+        f"(interactive budget {MAX_SOLVE_S:.1f}s)")
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized kernel reached only {speedup:.1f}x over the "
+        f"Python solver (gate {MIN_SPEEDUP:.0f}x)")

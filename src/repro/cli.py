@@ -99,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--engine", choices=("packet", "aimd", "maxmin"),
                         default="packet",
                         help="packet simulator (default) or a fluid engine")
+    report.add_argument("--kernel", choices=("vectorized", "reference"),
+                        default="vectorized",
+                        help="max-min allocation kernel (maxmin engine "
+                             "only): array waterfilling (default) or the "
+                             "pure-Python oracle")
     report.add_argument("--duration", type=float, default=10.0)
     report.add_argument("--step", type=float, default=1.0,
                         help="probe/snapshot interval (seconds)")
@@ -385,7 +390,8 @@ def _cmd_report(args) -> int:
         registry = MetricsRegistry()
         flows = [FluidFlow(pair[0], pair[1])] if pair is not None else []
         fluid = hypatia.build_fluid_simulation(
-            flows, mode=args.engine, metrics=registry, workload=workload)
+            flows, mode=args.engine, metrics=registry, workload=workload,
+            kernel=args.kernel)
         result = fluid.run(args.duration, step_s=args.step)
         report = result.report(registry=registry)
 

@@ -193,7 +193,8 @@ class Hypatia:
                                mode: str = "aimd",
                                freeze_topology_at_s: Optional[float] = None,
                                metrics: Optional["MetricsRegistry"] = None,
-                               workload=None):
+                               workload=None,
+                               kernel: str = "vectorized"):
         """A fluid traffic engine over this network.
 
         Args:
@@ -207,6 +208,10 @@ class Hypatia:
             workload: Optional :class:`repro.traffic.WorkloadSchedule`;
                 its finite flows are appended after ``flows`` and the
                 engine re-solves on every arrival/completion.
+            kernel: Max-min allocation kernel for ``mode="maxmin"`` —
+                ``"vectorized"`` (default, array waterfilling) or
+                ``"reference"`` (pure-Python oracle).  Ignored by the
+                AIMD engine.
         """
         flows = list(flows)
         if workload is not None:
@@ -218,7 +223,8 @@ class Hypatia:
         if mode == "maxmin":
             return FluidSimulation(
                 self.network, flows, link_capacity_bps=link_capacity_bps,
-                freeze_topology_at_s=freeze_topology_at_s, metrics=metrics)
+                freeze_topology_at_s=freeze_topology_at_s, metrics=metrics,
+                kernel=kernel)
         raise ValueError(f"unknown fluid mode {mode!r}; "
                          f"use 'aimd' or 'maxmin'")
 

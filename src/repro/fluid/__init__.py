@@ -1,14 +1,24 @@
 """Fluid (flow-level) traffic engine: max-min fair shares over time."""
 
 from .aimd import AimdFluidSimulation
-from .engine import FluidFlow, FluidResult, FluidSimulation, path_devices
+from .engine import (FluidFlow, FluidResult, FluidSimulation, decode_device,
+                     flatten_path_devices, flow_link_matrix_from_paths,
+                     path_devices)
 from .maxmin import max_min_fair_allocation
+from .vectorized import (FlowLinkMatrix, max_min_fair_allocation_vectorized,
+                         waterfill)
 
 __all__ = [
     "AimdFluidSimulation",
+    "FlowLinkMatrix",
     "FluidFlow",
     "FluidResult",
     "FluidSimulation",
+    "decode_device",
+    "flatten_path_devices",
+    "flow_link_matrix_from_paths",
     "path_devices",
     "max_min_fair_allocation",
+    "max_min_fair_allocation_vectorized",
+    "waterfill",
 ]

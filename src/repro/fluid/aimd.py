@@ -91,18 +91,25 @@ class AimdFluidSimulation:
         self._positions = PositionService(network, quantum_s=0.1)
         #: Minimum sending rate: one MSS per RTT (nominal).
         self.floor_bps = mss_bytes * 8.0 / rtt_estimate_s
+        self._flow_pairs = [(flow.src_gid, flow.dst_gid)
+                            for flow in self.flows]
 
     def _paths_at(self, time_s: float,
                   indices: Optional[Sequence[int]] = None
                   ) -> List[Optional[Tuple[int, ...]]]:
         snapshot = self.network.snapshot(time_s)
-        # One batched Dijkstra covers every flow's destination tree.
-        flows = (self.flows if indices is None
-                 else [self.flows[i] for i in indices])
-        node_paths = self._engine.paths_many(
-            snapshot, [(flow.src_gid, flow.dst_gid) for flow in flows])
-        paths = [tuple(path) if path is not None else None
-                 for path in node_paths]
+        # One batched Dijkstra covers every flow's destination tree, and
+        # each distinct (src, dst) pair is extracted only once — gravity
+        # workloads put thousands of flows on the same few city pairs.
+        pairs = (self._flow_pairs if indices is None
+                 else [self._flow_pairs[i] for i in indices])
+        unique: Dict[Tuple[int, int], int] = {}
+        for pair in pairs:
+            unique.setdefault(pair, len(unique))
+        node_paths = self._engine.paths_many(snapshot, list(unique))
+        unique_paths = [tuple(path) if path is not None else None
+                        for path in node_paths]
+        paths = [unique_paths[unique[pair]] for pair in pairs]
         if indices is None:
             return paths
         full: List[Optional[Tuple[int, ...]]] = [None] * len(self.flows)
@@ -143,6 +150,11 @@ class AimdFluidSimulation:
         offered_bits = np.array([
             flow.size_bytes * 8.0 if flow.size_bytes is not None else np.inf
             for flow in self.flows])
+        # Invariant per-flow rate ceiling (demand- and capacity-capped),
+        # hoisted out of the sub-step loop.
+        rate_cap = np.minimum(
+            self.link_capacity_bps,
+            np.array([flow.demand_bps for flow in self.flows]))
         residual_bits = offered_bits.copy()
         delivered_bits = np.zeros(num_flows)
         fct_s = np.full(num_flows, np.nan)
@@ -178,11 +190,17 @@ class AimdFluidSimulation:
                          for i in range(num_flows)]
             else:
                 paths = self._paths_at(float(time_s), candidates)
-            devices = [
-                path_devices(path, self._num_sats) if path is not None
-                else None
-                for path in paths
-            ]
+            device_cache: Dict[Tuple[int, ...], Sequence[Hashable]] = {}
+            devices: List[Optional[Sequence[Hashable]]] = []
+            for path in paths:
+                if path is None:
+                    devices.append(None)
+                    continue
+                devs = device_cache.get(path)
+                if devs is None:
+                    devs = path_devices(path, self._num_sats)
+                    device_cache[path] = devs
+                devices.append(devs)
             # Per-device effective capacities under the fault schedule
             # (snapshot granularity): cut/outaged devices serve nothing —
             # their backlogs overflow and on-path flows halve — lossy
@@ -203,107 +221,155 @@ class AimdFluidSimulation:
             # long paths reclaim bandwidth slowly, exactly the paper's
             # "transport is often unable to use the available bandwidth".
             if self._positions is not None:
+                rtt_cache: Dict[Tuple[int, ...], float] = {}
                 for i, path in enumerate(paths):
                     if path is None:
                         continue
-                    distance = 0.0
-                    for a, b in zip(path, path[1:]):
-                        distance += self._positions.distance_m(
-                            a, b, float(time_s))
-                    propagation_rtt = 2.0 * distance / 299_792_458.0
-                    queueing = 0.5 * self.queue_bits / capacity
-                    flow_rtt[i] = max(propagation_rtt + queueing, 1e-3)
+                    cached_rtt = rtt_cache.get(path)
+                    if cached_rtt is None:
+                        distance = 0.0
+                        for a, b in zip(path, path[1:]):
+                            distance += self._positions.distance_m(
+                                a, b, float(time_s))
+                        propagation_rtt = 2.0 * distance / 299_792_458.0
+                        queueing = 0.5 * self.queue_bits / capacity
+                        cached_rtt = max(propagation_rtt + queueing, 1e-3)
+                        rtt_cache[path] = cached_rtt
+                    flow_rtt[i] = cached_rtt
             # Reordering-induced decreases on path changes (paper §4.2).
+            sat_set_cache: Dict[Tuple[int, ...], frozenset] = {}
             for i, path in enumerate(paths):
-                sat_set = (frozenset(n for n in path if n < self._num_sats)
-                           if path is not None else None)
+                if path is None:
+                    sat_set = None
+                else:
+                    sat_set = sat_set_cache.get(path)
+                    if sat_set is None:
+                        sat_set = frozenset(
+                            n for n in path if n < self._num_sats)
+                        sat_set_cache[path] = sat_set
                 previous = previous_sat_sets[i]
                 if (path is not None and previous is not None
                         and sat_set != previous):
                     rates[i] = max(rates[i] / 2.0, self.floor_bps)
                     last_decrease[i] = float(time_s)
                 previous_sat_sets[i] = sat_set
-            served_bits: Dict[Hashable, float] = {}
+            # Flat per-step device incidence: one entry per (flow, device)
+            # traversal, devices compacted to integer columns — the same
+            # layout the max-min engine solves over.  Every sub-step below
+            # is array arithmetic over these entries; the backlog dict is
+            # scattered into an array here and gathered back after the
+            # last sub-step.
+            ent_flow_list: List[int] = []
+            ent_dev_list: List[Hashable] = []
+            for i, devs in enumerate(devices):
+                if devs is None:
+                    continue
+                ent_flow_list.extend([i] * len(devs))
+                ent_dev_list.extend(devs)
+            dev_col: Dict[Hashable, int] = {}
+            for dev in ent_dev_list:
+                dev_col.setdefault(dev, len(dev_col))
+            for dev in backlog_bits:
+                dev_col.setdefault(dev, len(dev_col))
+            dev_keys = list(dev_col)
+            num_devs = len(dev_keys)
+            ent_flow = np.fromiter(ent_flow_list, dtype=np.int64,
+                                   count=len(ent_flow_list))
+            ent_col = np.fromiter((dev_col[dev] for dev in ent_dev_list),
+                                  dtype=np.int64, count=len(ent_dev_list))
+            dev_cap_dt = np.full(num_devs, capacity * dt)
+            for dev, cap_bps in dev_caps.items():
+                col = dev_col.get(dev)
+                if col is not None:
+                    dev_cap_dt[col] = cap_bps * dt
+            backlog = np.zeros(num_devs)
+            for dev, bits in backlog_bits.items():
+                backlog[dev_col[dev]] = bits
+            served_bits_arr = np.zeros(num_devs)
+            touched = np.zeros(num_devs, dtype=bool)
+            no_dev = np.fromiter((devs is None for devs in devices),
+                                 dtype=bool, count=num_flows)
+            has_dev = ~no_dev
+            # One MSS per RTT per RTT, at each flow's RTT (hoisted:
+            # flow_rtt only changes at snapshot granularity).
+            increase_dt = (self.mss_bytes * 8.0 / flow_rtt ** 2
+                           * slope_jitter * dt)
+            cand_arr = np.asarray(candidates, dtype=np.int64)
+            finite_res = np.isfinite(residual_bits)
             for sub in range(substeps):
                 sub_time = float(time_s) + sub * dt
                 if dynamic:
                     # Activate flows whose start time has arrived; they
                     # enter at the floor (slow-start restart semantics).
-                    for i in candidates:
-                        if not active_mask[i] and starts[i] <= sub_time:
-                            active_mask[i] = True
-                            rates[i] = self.floor_bps
+                    newly = cand_arr[~active_mask[cand_arr]
+                                     & (starts[cand_arr] <= sub_time)]
+                    active_mask[newly] = True
+                    rates[newly] = self.floor_bps
                 # Offered load per device from current rates.
-                loads: Dict[Hashable, float] = {}
-                for i, devs in enumerate(devices):
-                    if devs is None or not active_mask[i]:
-                        continue
-                    for dev in devs:
-                        loads[dev] = loads.get(dev, 0.0) + rates[i]
+                ent_active = active_mask[ent_flow]
+                act_cols = ent_col[ent_active]
+                loads = np.zeros(num_devs)
+                np.add.at(loads, act_cols, rates[ent_flow[ent_active]])
+                loaded = np.zeros(num_devs, dtype=bool)
+                loaded[act_cols] = True
+                touched |= loaded | (backlog > 0.0)
                 # Virtual drop-tail queues: overload builds backlog, spare
                 # capacity drains it; hitting the cap signals drops.
-                overflowing: Dict[Hashable, bool] = {}
-                for dev, load in loads.items():
-                    previous = backlog_bits.get(dev, 0.0)
-                    arriving = previous + load * dt
-                    served = min(dev_caps.get(dev, capacity) * dt, arriving)
-                    leftover = arriving - served
-                    overflowing[dev] = leftover > self.queue_bits
-                    backlog_bits[dev] = min(leftover, self.queue_bits)
-                    served_bits[dev] = served_bits.get(dev, 0.0) + served
-                # Queues on devices no flow uses anymore still drain.
-                for dev in list(backlog_bits):
-                    if dev not in loads:
-                        drained = min(backlog_bits[dev],
-                                      dev_caps.get(dev, capacity) * dt)
-                        served_bits[dev] = served_bits.get(dev, 0.0) + drained
-                        backlog_bits[dev] -= drained
-                        if backlog_bits[dev] <= 0.0:
-                            del backlog_bits[dev]
+                # Devices no flow uses anymore (zero load) still drain.
+                arriving = backlog + loads * dt
+                served = np.minimum(dev_cap_dt, arriving)
+                leftover = arriving - served
+                overflow = loaded & (leftover > self.queue_bits)
+                backlog = np.minimum(leftover, self.queue_bits)
+                served_bits_arr += served
                 if dynamic:
                     # Residual-size integration: a finite flow transfers
                     # at its sending rate and completes (leaving the
                     # offered load) once its residual is gone.
-                    for i in candidates:
-                        if not active_mask[i] or devices[i] is None:
-                            continue
-                        if not np.isfinite(residual_bits[i]):
-                            delivered_bits[i] += rates[i] * dt
-                            continue
-                        served = min(rates[i] * dt, residual_bits[i])
-                        delivered_bits[i] += served
-                        residual_bits[i] -= served
-                        if residual_bits[i] <= 1e-3:
-                            residual_bits[i] = 0.0
-                            done = (sub_time + served / rates[i]
-                                    if rates[i] > 0.0 else sub_time + dt)
-                            fct_s[i] = done - starts[i]
-                            active_mask[i] = False
+                    act = cand_arr[active_mask[cand_arr]
+                                   & has_dev[cand_arr]]
+                    infinite = act[~finite_res[act]]
+                    delivered_bits[infinite] += rates[infinite] * dt
+                    finite = act[finite_res[act]]
+                    if finite.size:
+                        served_f = np.minimum(rates[finite] * dt,
+                                              residual_bits[finite])
+                        delivered_bits[finite] += served_f
+                        residual_bits[finite] -= served_f
+                        done_local = residual_bits[finite] <= 1e-3
+                        done = finite[done_local]
+                        if done.size:
+                            residual_bits[done] = 0.0
+                            done_rates = rates[done]
+                            positive = done_rates > 0.0
+                            safe = np.where(positive, done_rates, 1.0)
+                            end_time = np.where(
+                                positive,
+                                sub_time + served_f[done_local] / safe,
+                                sub_time + dt)
+                            fct_s[done] = end_time - starts[done]
+                            active_mask[done] = False
                 # AIMD reaction.
-                for i, devs in enumerate(devices):
-                    if devs is None:
-                        rates[i] = self.floor_bps  # restart on reconnection
-                        continue
-                    if not active_mask[i]:
-                        continue
-                    dropped = any(overflowing[dev] for dev in devs)
-                    if (dropped and sub_time - last_decrease[i]
-                            >= flow_rtt[i]):
-                        rates[i] = max(rates[i] / 2.0, self.floor_bps)
-                        last_decrease[i] = sub_time
-                    else:
-                        # One MSS per RTT per RTT, at this flow's RTT.
-                        increase = self.mss_bytes * 8.0 / flow_rtt[i] ** 2
-                        rates[i] += increase * slope_jitter[i] * dt
-                    cap = min(capacity, self.flows[i].demand_bps)
-                    rates[i] = min(rates[i], cap)
+                rates[no_dev] = self.floor_bps  # restart on reconnection
+                react = active_mask & has_dev
+                drop_hits = np.zeros(num_flows)
+                np.maximum.at(drop_hits, ent_flow,
+                              overflow[ent_col].astype(float))
+                decrease = (react & (drop_hits > 0.0)
+                            & (sub_time - last_decrease >= flow_rtt))
+                rates[decrease] = np.maximum(rates[decrease] / 2.0,
+                                             self.floor_bps)
+                last_decrease[decrease] = sub_time
+                grow = react & ~decrease
+                rates[grow] += increase_dt[grow]
+                rates[react] = np.minimum(rates[react], rate_cap[react])
+            backlog_bits = {dev_keys[j]: float(backlog[j])
+                            for j in np.flatnonzero(backlog > 0.0)}
             # Utilization over the step is what a 1 s monitor would report.
-            utilization = {dev: bits / step_s
-                           for dev, bits in served_bits.items()}
+            utilization = {dev_keys[j]: float(served_bits_arr[j]) / step_s
+                           for j in np.flatnonzero(touched)}
             recorded = rates.copy()
-            for i, devs in enumerate(devices):
-                if devs is None or not active_mask[i]:
-                    recorded[i] = 0.0
+            recorded[no_dev | ~active_mask] = 0.0
             out_rates[t_index] = recorded
             all_paths.append(list(paths))
             all_loads.append(utilization)

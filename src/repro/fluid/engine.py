@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -33,8 +34,15 @@ from ..routing.engine import RoutingEngine
 from ..topology.dynamic_state import snapshot_times
 from ..topology.network import LeoNetwork, TopologySnapshot
 from .maxmin import max_min_fair_allocation
+from .vectorized import FlowLinkMatrix, waterfill
 
-__all__ = ["FluidFlow", "FluidResult", "FluidSimulation", "path_devices"]
+__all__ = ["FluidFlow", "FluidResult", "FluidSimulation", "path_devices",
+           "flatten_path_devices", "decode_device",
+           "flow_link_matrix_from_paths"]
+
+#: Demand cap for "elastic" flows: far above any single device, so the
+#: allocation is capacity-limited, but finite so the solver terminates.
+_ELASTIC_DEMAND_CAPACITIES = 100.0
 
 #: Event-time tolerance of the intra-step churn loop (seconds) — also the
 #: minimum sub-interval width, so the loop always advances.
@@ -101,6 +109,93 @@ def path_devices(path: Sequence[int], num_satellites: int
         else:
             devices.append(("gsl", a))
     return devices
+
+
+def flatten_path_devices(paths: Sequence[Optional[Sequence[int]]],
+                         num_satellites: int, num_nodes: int
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`path_devices` over many paths at once.
+
+    Encodes every transmitting device as one int64 code — ``a*N + b``
+    for the directed ISL ``(a, b)``, ``N*N + a`` for the shared GSL
+    device of node ``a`` (``N = num_nodes``) — and returns
+    ``(codes, hop_counts)``: the concatenated per-hop device codes in
+    path order, plus each path's hop count (0 for ``None`` paths).
+    Decode with :func:`decode_device`.
+    """
+    num_paths = len(paths)
+    lens = np.fromiter((len(p) if p is not None else 0 for p in paths),
+                       dtype=np.int64, count=num_paths)
+    total = int(lens.sum())
+    hop_counts = np.maximum(lens - 1, 0)
+    if total == 0:
+        return np.empty(0, dtype=np.int64), hop_counts
+    flat = np.fromiter(
+        chain.from_iterable(p for p in paths if p is not None),
+        dtype=np.int64, count=total)
+    ends = np.cumsum(lens[lens > 0])
+    keep_a = np.ones(total, dtype=bool)
+    keep_a[ends - 1] = False          # drop each path's last node
+    keep_b = np.ones(total, dtype=bool)
+    keep_b[ends[:-1]] = False         # drop each path's first node
+    keep_b[0] = False
+    src = flat[keep_a]
+    dst = flat[keep_b]
+    isl = (src < num_satellites) & (dst < num_satellites)
+    codes = np.where(isl, src * num_nodes + dst,
+                     num_nodes * num_nodes + src)
+    return codes, hop_counts
+
+
+def decode_device(code: int, num_nodes: int) -> Hashable:
+    """The :func:`path_devices`-style key of an encoded device."""
+    code = int(code)
+    if code < num_nodes * num_nodes:
+        return (code // num_nodes, code % num_nodes)
+    return ("gsl", code - num_nodes * num_nodes)
+
+
+def flow_link_matrix_from_paths(
+        paths: Sequence[Optional[Sequence[int]]], num_satellites: int,
+        num_nodes: int, capacity_of) -> Tuple["FlowLinkMatrix", np.ndarray]:
+    """Build one snapshot's flows-on-links CSR from node paths.
+
+    Device codes are flattened in path order and columns numbered in
+    first-appearance order over the traversal sequences — exactly the
+    oracle's link dict insertion order, so :func:`repro.fluid.vectorized.
+    waterfill` over the matrix reproduces ``max_min_fair_allocation``
+    bit-for-bit.  A ``None`` path becomes an empty row.
+
+    Args:
+        paths: Per-flow node paths (``None`` for disconnected flows).
+        num_satellites: Node-numbering split point.
+        num_nodes: Total node count (satellites + ground stations).
+        capacity_of: Callable mapping a device key to its capacity (bps).
+
+    Returns:
+        ``(matrix, hop_counts)`` — the incidence matrix and the (F,)
+        per-flow device count (0 marks disconnected flows).
+    """
+    codes, hop_counts = flatten_path_devices(paths, num_satellites,
+                                             num_nodes)
+    indptr = np.zeros(len(paths) + 1, dtype=np.int64)
+    np.cumsum(hop_counts, out=indptr[1:])
+    if codes.size:
+        uniq, first_pos, inverse = np.unique(
+            codes, return_index=True, return_inverse=True)
+        order = np.argsort(first_pos, kind="stable")
+        rank = np.empty(order.size, dtype=np.int64)
+        rank[order] = np.arange(order.size, dtype=np.int64)
+        link_index = rank[inverse.reshape(-1)]
+        step_codes = uniq[order]
+    else:
+        link_index = codes
+        step_codes = codes
+    keys = [decode_device(code, num_nodes) for code in step_codes]
+    capacities = np.fromiter((capacity_of(key) for key in keys),
+                             dtype=float, count=len(keys))
+    matrix = FlowLinkMatrix(keys, capacities, indptr, link_index)
+    return matrix, hop_counts
 
 
 @dataclass
@@ -238,6 +333,13 @@ class FluidSimulation:
         metrics: Optional registry; when given, the run records the
             per-snapshot series ``fluid.connected_flows``,
             ``fluid.mean_rate_bps`` and ``fluid.peak_utilization``.
+        kernel: ``"vectorized"`` (default) solves each allocation over
+            the flat :class:`~repro.fluid.vectorized.FlowLinkMatrix`
+            incidence; ``"reference"`` keeps the pure-Python
+            progressive-filling oracle.  The two produce bit-identical
+            allocations (``make bench-fluid-scale`` asserts it); the
+            vectorized kernel is the one that scales to 10^5+ concurrent
+            flows per snapshot.
     """
 
     ENGINE = "maxmin"
@@ -247,11 +349,16 @@ class FluidSimulation:
                  freeze_topology_at_s: Optional[float] = None,
                  capacity_overrides: Optional[
                      Dict[Hashable, float]] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 kernel: str = "vectorized") -> None:
         if not flows:
             raise ValueError("need at least one flow")
         if link_capacity_bps <= 0.0:
             raise ValueError("capacity must be positive")
+        if kernel not in ("vectorized", "reference"):
+            raise ValueError(f"unknown kernel {kernel!r}; "
+                             f"use 'vectorized' or 'reference'")
+        self.kernel = kernel
         self.network = network
         self.flows = list(flows)
         self.link_capacity_bps = link_capacity_bps
@@ -266,17 +373,24 @@ class FluidSimulation:
         self.metrics = metrics
         self._engine = RoutingEngine(network)
         self._num_sats = network.num_satellites
+        self._flow_pairs = [(flow.src_gid, flow.dst_gid)
+                            for flow in self.flows]
 
     def _paths_at(self, snapshot: TopologySnapshot,
                   indices: Optional[Sequence[int]] = None
                   ) -> List[Optional[Tuple[int, ...]]]:
-        # One batched Dijkstra covers every flow's destination tree.
-        flows = (self.flows if indices is None
-                 else [self.flows[i] for i in indices])
-        node_paths = self._engine.paths_many(
-            snapshot, [(flow.src_gid, flow.dst_gid) for flow in flows])
-        paths = [tuple(path) if path is not None else None
-                 for path in node_paths]
+        # One batched Dijkstra covers every flow's destination tree, and
+        # each distinct (src, dst) pair is extracted only once — gravity
+        # workloads put thousands of flows on the same few city pairs.
+        pairs = (self._flow_pairs if indices is None
+                 else [self._flow_pairs[i] for i in indices])
+        unique: Dict[Tuple[int, int], int] = {}
+        for pair in pairs:
+            unique.setdefault(pair, len(unique))
+        node_paths = self._engine.paths_many(snapshot, list(unique))
+        unique_paths = [tuple(path) if path is not None else None
+                        for path in node_paths]
+        paths = [unique_paths[unique[pair]] for pair in pairs]
         if indices is None:
             return paths
         full: List[Optional[Tuple[int, ...]]] = [None] * len(self.flows)
@@ -312,6 +426,11 @@ class FluidSimulation:
         fct_s = np.full(num_flows, np.nan)
         dynamic = bool((starts > 0.0).any()
                        or np.isfinite(offered_bits).any())
+        # Invariant per-flow rate caps, hoisted out of the sub-event loop
+        # (elastic flows capped far above any device capacity).
+        demand_caps = np.minimum(
+            np.array([flow.demand_bps for flow in self.flows]),
+            _ELASTIC_DEMAND_CAPACITIES * self.link_capacity_bps)
         solves = 0
 
         frozen_paths: Optional[List[Optional[Tuple[int, ...]]]] = None
@@ -320,94 +439,27 @@ class FluidSimulation:
             frozen_paths = self._paths_at(frozen_snapshot)
 
         faults = getattr(self.network, "fault_view", None)
+        step = (self._step_vectorized if self.kernel == "vectorized"
+                else self._step_reference)
         for t_index, time_s in enumerate(times):
             time_s = float(time_s)
             step_end = time_s + step_s
             # Flows that could take capacity somewhere in this step:
             # already or soon started, not yet fully transferred.
-            candidates = [i for i in range(num_flows)
-                          if residual_bits[i] > 0.0
-                          and starts[i] < step_end]
+            candidates = np.flatnonzero((residual_bits > 0.0)
+                                        & (starts < step_end))
             if frozen_paths is not None:
-                in_play = set(candidates)
+                in_play = set(candidates.tolist())
                 paths: List[Optional[Tuple[int, ...]]] = [
                     frozen_paths[i] if i in in_play else None
                     for i in range(num_flows)]
             else:
                 snapshot = self.network.snapshot(time_s)
                 paths = self._paths_at(snapshot, candidates)
-            flow_links: Dict[int, List[Hashable]] = {
-                i: path_devices(paths[i], self._num_sats)
-                for i in candidates if paths[i] is not None}
-            capacities: Dict[Hashable, float] = {}
-            for links in flow_links.values():
-                for link in links:
-                    capacity = self.capacity_overrides.get(
-                        link, self.link_capacity_bps)
-                    if faults is not None:
-                        # Cut/outaged devices are zero-capacity (flows
-                        # over them — frozen-topology mode — get rate 0);
-                        # lossy ones shrink to the expected goodput.
-                        capacity *= faults.capacity_factor(
-                            link, self._num_sats, time_s)
-                    capacities[link] = capacity
-
-            # Sub-event loop: [time_s, step_end) split at every arrival
-            # and predicted completion; one max-min solve per interval.
-            tau = time_s
-            recorded = False
-            while True:
-                active = [i for i in candidates
-                          if starts[i] <= tau + _TIME_EPS_S
-                          and residual_bits[i] > 0.0
-                          and i in flow_links]
-                links_list = [flow_links[i] for i in active]
-                allocated = max_min_fair_allocation(
-                    capacities, links_list,
-                    demands=[min(self.flows[i].demand_bps,
-                                 100.0 * self.link_capacity_bps)
-                             for i in active])
-                solves += 1
-                if not recorded:
-                    loads: Dict[Hashable, float] = {}
-                    for links, rate in zip(links_list, allocated):
-                        for link in links:
-                            loads[link] = loads.get(link, 0.0) + rate
-                    for local_index, i in enumerate(active):
-                        rates[t_index, i] = allocated[local_index]
-                    all_paths.append(list(paths))
-                    all_loads.append(loads)
-                    self._record_metrics(
-                        time_s, rates[t_index], loads,
-                        active_count=len(active) if dynamic else None)
-                    recorded = True
-                next_tau = step_end
-                for i in candidates:
-                    if tau + _TIME_EPS_S < starts[i] < next_tau:
-                        next_tau = starts[i]
-                for local_index, i in enumerate(active):
-                    rate = allocated[local_index]
-                    if rate > 0.0 and np.isfinite(residual_bits[i]):
-                        done = tau + max(residual_bits[i] / rate,
-                                         _TIME_EPS_S)
-                        if done < next_tau:
-                            next_tau = done
-                dt = next_tau - tau
-                if dt > 0.0:
-                    for local_index, i in enumerate(active):
-                        rate = allocated[local_index]
-                        if rate <= 0.0:
-                            continue
-                        served = min(rate * dt, residual_bits[i])
-                        delivered_bits[i] += served
-                        if np.isfinite(residual_bits[i]):
-                            residual_bits[i] -= served
-                            if residual_bits[i] <= _RESIDUAL_EPS_BITS:
-                                residual_bits[i] = 0.0
-                                fct_s[i] = next_tau - starts[i]
-                tau = next_tau
-                if tau >= step_end - _TIME_EPS_S:
-                    break
+            solves += step(t_index, time_s, step_end, paths, candidates,
+                           starts, demand_caps, residual_bits,
+                           delivered_bits, fct_s, rates, all_paths,
+                           all_loads, dynamic, faults)
 
         wall = time.perf_counter() - wall_start
         perf = {"wall_time_s": wall,
@@ -427,6 +479,172 @@ class FluidSimulation:
                            flow_delivered_bits=(delivered_bits if dynamic
                                                 else None),
                            flow_fct_s=fct_s if dynamic else None)
+
+    def _step_reference(self, t_index: int, time_s: float, step_end: float,
+                        paths: List[Optional[Tuple[int, ...]]],
+                        candidates: np.ndarray, starts: np.ndarray,
+                        demand_caps: np.ndarray, residual_bits: np.ndarray,
+                        delivered_bits: np.ndarray, fct_s: np.ndarray,
+                        rates: np.ndarray, all_paths: list, all_loads: list,
+                        dynamic: bool, faults) -> int:
+        """One snapshot step through the pure-Python oracle allocator."""
+        flow_links: Dict[int, List[Hashable]] = {
+            i: path_devices(paths[i], self._num_sats)
+            for i in candidates if paths[i] is not None}
+        capacities: Dict[Hashable, float] = {}
+        for links in flow_links.values():
+            for link in links:
+                capacity = self.capacity_overrides.get(
+                    link, self.link_capacity_bps)
+                if faults is not None:
+                    # Cut/outaged devices are zero-capacity (flows
+                    # over them — frozen-topology mode — get rate 0);
+                    # lossy ones shrink to the expected goodput.
+                    capacity *= faults.capacity_factor(
+                        link, self._num_sats, time_s)
+                capacities[link] = capacity
+
+        # Sub-event loop: [time_s, step_end) split at every arrival
+        # and predicted completion; one max-min solve per interval.
+        solves = 0
+        tau = time_s
+        recorded = False
+        while True:
+            active = [i for i in candidates
+                      if starts[i] <= tau + _TIME_EPS_S
+                      and residual_bits[i] > 0.0
+                      and i in flow_links]
+            links_list = [flow_links[i] for i in active]
+            allocated = max_min_fair_allocation(
+                capacities, links_list, demands=demand_caps[active])
+            solves += 1
+            if not recorded:
+                loads: Dict[Hashable, float] = {}
+                for links, rate in zip(links_list, allocated):
+                    for link in links:
+                        loads[link] = loads.get(link, 0.0) + rate
+                for local_index, i in enumerate(active):
+                    rates[t_index, i] = allocated[local_index]
+                all_paths.append(list(paths))
+                all_loads.append(loads)
+                self._record_metrics(
+                    time_s, rates[t_index], loads,
+                    active_count=len(active) if dynamic else None)
+                recorded = True
+            next_tau = step_end
+            for i in candidates:
+                if tau + _TIME_EPS_S < starts[i] < next_tau:
+                    next_tau = starts[i]
+            for local_index, i in enumerate(active):
+                rate = allocated[local_index]
+                if rate > 0.0 and np.isfinite(residual_bits[i]):
+                    done = tau + max(residual_bits[i] / rate,
+                                     _TIME_EPS_S)
+                    if done < next_tau:
+                        next_tau = done
+            dt = next_tau - tau
+            if dt > 0.0:
+                for local_index, i in enumerate(active):
+                    rate = allocated[local_index]
+                    if rate <= 0.0:
+                        continue
+                    served = min(rate * dt, residual_bits[i])
+                    delivered_bits[i] += served
+                    if np.isfinite(residual_bits[i]):
+                        residual_bits[i] -= served
+                        if residual_bits[i] <= _RESIDUAL_EPS_BITS:
+                            residual_bits[i] = 0.0
+                            fct_s[i] = next_tau - starts[i]
+            tau = next_tau
+            if tau >= step_end - _TIME_EPS_S:
+                break
+        return solves
+
+    def _step_vectorized(self, t_index: int, time_s: float, step_end: float,
+                         paths: List[Optional[Tuple[int, ...]]],
+                         candidates: np.ndarray, starts: np.ndarray,
+                         demand_caps: np.ndarray, residual_bits: np.ndarray,
+                         delivered_bits: np.ndarray, fct_s: np.ndarray,
+                         rates: np.ndarray, all_paths: list, all_loads: list,
+                         dynamic: bool, faults) -> int:
+        """One snapshot step on the flat incidence representation.
+
+        The step's flows-on-links CSR is built once (int-encoded device
+        codes in path order, so the column numbering matches the oracle's
+        link dict order); every arrival/completion inside the step is a
+        row activation over that fixed matrix, not a rebuild.
+        """
+        def capacity_of(key: Hashable) -> float:
+            capacity = self.capacity_overrides.get(
+                key, self.link_capacity_bps)
+            if faults is not None:
+                capacity *= faults.capacity_factor(
+                    key, self._num_sats, time_s)
+            return capacity
+
+        cand_paths = [paths[i] for i in candidates]
+        matrix, hop_counts = flow_link_matrix_from_paths(
+            cand_paths, self._num_sats, self.network.num_nodes,
+            capacity_of)
+        keys = matrix.link_keys
+
+        starts_c = starts[candidates]
+        demands_c = demand_caps[candidates]
+        has_path = hop_counts > 0
+        solves = 0
+        tau = time_s
+        recorded = False
+        while True:
+            active = np.flatnonzero((starts_c <= tau + _TIME_EPS_S)
+                                    & (residual_bits[candidates] > 0.0)
+                                    & has_path)
+            allocated = waterfill(matrix, demands=demands_c, active=active)
+            solves += 1
+            global_active = candidates[active]
+            if not recorded:
+                cols, _, entry_rows = matrix._gather(active)
+                load_arr = np.zeros(matrix.num_links)
+                np.add.at(load_arr, cols, allocated[entry_rows])
+                loads = {keys[j]: float(load_arr[j])
+                         for j in np.unique(cols)}
+                rates[t_index, global_active] = allocated
+                all_paths.append(list(paths))
+                all_loads.append(loads)
+                self._record_metrics(
+                    time_s, rates[t_index], loads,
+                    active_count=len(active) if dynamic else None)
+                recorded = True
+            next_tau = step_end
+            pending = starts_c[(starts_c > tau + _TIME_EPS_S)
+                               & (starts_c < next_tau)]
+            if pending.size:
+                next_tau = float(pending.min())
+            res_act = residual_bits[global_active]
+            finishing = np.isfinite(res_act) & (allocated > 0.0)
+            if finishing.any():
+                done = tau + np.maximum(
+                    res_act[finishing] / allocated[finishing], _TIME_EPS_S)
+                earliest = float(done.min())
+                if earliest < next_tau:
+                    next_tau = earliest
+            dt = next_tau - tau
+            if dt > 0.0 and active.size:
+                positive = allocated > 0.0
+                g_pos = global_active[positive]
+                served = np.minimum(allocated[positive] * dt,
+                                    residual_bits[g_pos])
+                delivered_bits[g_pos] += served
+                finite = np.isfinite(residual_bits[g_pos])
+                g_fin = g_pos[finite]
+                residual_bits[g_fin] -= served[finite]
+                completed = residual_bits[g_fin] <= _RESIDUAL_EPS_BITS
+                g_done = g_fin[completed]
+                residual_bits[g_done] = 0.0
+                fct_s[g_done] = next_tau - starts[g_done]
+            tau = next_tau
+            if tau >= step_end - _TIME_EPS_S:
+                break
+        return solves
 
     def _record_metrics(self, time_s: float, rates_row: np.ndarray,
                         loads: Dict[Hashable, float],

@@ -25,10 +25,17 @@ def max_min_fair_allocation(
 ) -> np.ndarray:
     """Progressive-filling max-min fair rates.
 
+    A flow listing the same link more than once (a loop path) consumes
+    capacity once per traversal, so it is weighted by its traversal
+    multiplicity in both the equal-share computation and the capacity
+    decrement: per link, ``sum(rate * multiplicity) <= capacity`` always
+    holds.
+
     Args:
         link_capacity: Capacity of every link (any hashable link key).
-        flow_links: For each flow, the links it traverses.  A flow with no
-            links is only limited by its demand.
+        flow_links: For each flow, the links it traverses, one entry per
+            traversal.  A flow with no links is only limited by its
+            demand.
         demands: Optional per-flow rate caps (e.g. an application's send
             rate); ``None`` means every flow is elastic (infinite demand).
 
@@ -56,18 +63,21 @@ def max_min_fair_allocation(
         if (demand_arr < 0.0).any():
             raise ValueError("demands must be non-negative")
 
-    # Build link membership; verify link keys.
-    flows_on_link: Dict[Hashable, List[int]] = {}
+    # Build link membership with traversal multiplicities; verify link
+    # keys.  ``flows_on_link[link]`` maps flow index -> times the flow
+    # traverses the link (1 for ordinary simple paths).
+    flows_on_link: Dict[Hashable, Dict[int, int]] = {}
     for flow_index, links in enumerate(flow_links):
         for link in links:
             if link not in link_capacity:
                 raise ValueError(f"flow {flow_index} uses unknown link "
                                  f"{link!r}")
-            flows_on_link.setdefault(link, []).append(flow_index)
+            members = flows_on_link.setdefault(link, {})
+            members[flow_index] = members.get(flow_index, 0) + 1
 
     remaining = {link: float(link_capacity[link])
                  for link in flows_on_link}
-    active_on_link = {link: set(flows) for link, flows
+    active_on_link = {link: dict(members) for link, members
                       in flows_on_link.items()}
     unfrozen = set(range(num_flows))
 
@@ -83,13 +93,17 @@ def max_min_fair_allocation(
     current_level = 0.0
     while unfrozen:
         # The next freezing event: either a link saturates at its equal
-        # share, or a flow reaches its demand cap.
+        # share, or a flow reaches its demand cap.  A link's share grows
+        # with slope 1/weight where weight is the total traversal count of
+        # its unfrozen flows (a flow crossing twice drains it twice as
+        # fast per unit of rate).
         best_share = np.inf
         bottleneck = None
-        for link, flows in active_on_link.items():
-            if not flows:
+        for link, members in active_on_link.items():
+            if not members:
                 continue
-            share = current_level + remaining[link] / len(flows)
+            weight = sum(members.values())
+            share = current_level + remaining[link] / weight
             if share < best_share:
                 best_share = share
                 bottleneck = link
@@ -112,15 +126,16 @@ def max_min_fair_allocation(
         for flow_index in unfrozen:
             rates[flow_index] = min(best_share, demand_arr[flow_index])
         for link in list(active_on_link):
-            flows = active_on_link[link]
-            remaining[link] -= increment * len(flows)
+            members = active_on_link[link]
+            remaining[link] -= increment * sum(members.values())
             if remaining[link] < 0.0:
                 remaining[link] = 0.0
         for flow_index in to_freeze:
             unfrozen.discard(flow_index)
             for link in flow_links[flow_index]:
-                active_on_link[link].discard(flow_index)
-        for link in [l for l, flows in active_on_link.items() if not flows]:
+                active_on_link[link].pop(flow_index, None)
+        for link in [l for l, members in active_on_link.items()
+                     if not members]:
             del active_on_link[link]
         current_level = best_share
     return rates

@@ -6,6 +6,11 @@ import pytest
 from repro.fluid.aimd import AimdFluidSimulation
 from repro.fluid.engine import FluidFlow, FluidSimulation, path_devices
 from repro.fluid.maxmin import max_min_fair_allocation
+from repro.fluid.vectorized import (FlowLinkMatrix,
+                                    max_min_fair_allocation_vectorized,
+                                    waterfill)
+
+BOTH_KERNELS = [max_min_fair_allocation, max_min_fair_allocation_vectorized]
 
 
 class TestMaxMin:
@@ -299,3 +304,163 @@ class TestPerfSummaryEdgeCases:
         assert summary["offered_load_bps"] == pytest.approx(4000.0)
         assert summary["delivered_load_bps"] == 0.0
         assert result.fct_values().size == 0
+
+
+class TestRepeatedLinkRegression:
+    """ISSUE 6 regression: loop paths must be weighted by traversal
+    multiplicity.
+
+    The old set-based allocator deduped a flow's repeated link
+    traversals, so ``{'a': 10.0}`` with paths ``[['a', 'a'], ['a']]``
+    returned ``[5., 5.]`` — 5*2 + 5 = 15 bps consumed on a 10 bps link.
+    The fair answer weights the loop flow twice: both flows freeze at
+    10/3, and 2*(10/3) + 10/3 = 10 exactly saturates the link.
+    """
+
+    @pytest.mark.parametrize("allocate", BOTH_KERNELS)
+    def test_issue_example(self, allocate):
+        rates = allocate({"a": 10.0}, [["a", "a"], ["a"]])
+        np.testing.assert_allclose(rates, [10.0 / 3.0, 10.0 / 3.0])
+        consumed = 2.0 * rates[0] + rates[1]
+        assert consumed <= 10.0 * (1 + 1e-9)
+
+    @pytest.mark.parametrize("allocate", BOTH_KERNELS)
+    def test_triple_traversal(self, allocate):
+        rates = allocate({"a": 12.0}, [["a", "a", "a"], ["a"]])
+        np.testing.assert_allclose(rates, [3.0, 3.0])
+        assert 3.0 * rates[0] + rates[1] <= 12.0 * (1 + 1e-9)
+
+    @pytest.mark.parametrize("allocate", BOTH_KERNELS)
+    def test_loop_flow_with_demand_cap(self, allocate):
+        # The loop flow caps at its demand; the freed weight goes to the
+        # single-traversal flow (2*1 + 8 = 10).
+        rates = allocate({"a": 10.0}, [["a", "a"], ["a"]],
+                         demands=[1.0, np.inf])
+        np.testing.assert_allclose(rates, [1.0, 8.0])
+
+    @pytest.mark.parametrize("allocate", BOTH_KERNELS)
+    def test_loop_through_two_links(self, allocate):
+        # Flow 0 crosses l1 twice and l2 once; flow 1 crosses l2 only.
+        # l1 saturates first at share 5/2; l2 then leaves 10 - 2.5 for
+        # flow 1.
+        rates = allocate({"l1": 5.0, "l2": 10.0},
+                         [["l1", "l2", "l1"], ["l2"]])
+        np.testing.assert_allclose(rates, [2.5, 7.5])
+
+
+class TestVectorizedKernel:
+    """The array waterfilling kernel against the pure-Python oracle."""
+
+    def _random_scenario(self, rng):
+        num_links = rng.integers(1, 7)
+        links = [f"l{j}" for j in range(num_links)]
+        capacity = {link: float(rng.uniform(0.5, 20.0)) for link in links}
+        num_flows = rng.integers(1, 11)
+        flow_links = []
+        for _ in range(num_flows):
+            hops = rng.integers(0, 5)
+            # Sampling with replacement makes repeated traversals common.
+            flow_links.append(list(rng.choice(links, size=hops)))
+        if rng.random() < 0.5:
+            demands = rng.uniform(0.1, 15.0, size=num_flows)
+        else:
+            demands = None
+            for flow in flow_links:
+                if not flow:
+                    flow.append(links[0])
+        return capacity, flow_links, demands
+
+    def test_bit_identical_to_oracle_on_random_scenarios(self):
+        rng = np.random.default_rng(1234)
+        for _ in range(300):
+            capacity, flow_links, demands = self._random_scenario(rng)
+            expected = max_min_fair_allocation(capacity, flow_links,
+                                               demands)
+            got = max_min_fair_allocation_vectorized(capacity, flow_links,
+                                                     demands)
+            assert np.array_equal(expected, got), (capacity, flow_links,
+                                                   demands)
+
+    def test_waterfill_subset_activation_matches_subset_solve(self):
+        rng = np.random.default_rng(99)
+        capacity = {f"l{j}": float(rng.uniform(1.0, 10.0))
+                    for j in range(5)}
+        flow_links = [list(rng.choice(list(capacity), size=3))
+                      for _ in range(12)]
+        demands = rng.uniform(0.5, 8.0, size=12)
+        matrix = FlowLinkMatrix.from_paths(capacity, flow_links)
+        active = np.array([0, 3, 4, 7, 11])
+        rates = waterfill(matrix, demands=demands, active=active)
+        expected = max_min_fair_allocation(
+            capacity, [flow_links[i] for i in active], demands[active])
+        assert np.array_equal(rates, expected)
+
+    def test_from_paths_rejects_unknown_link(self):
+        with pytest.raises(ValueError):
+            FlowLinkMatrix.from_paths({"l": 1.0}, [["l", "x"]])
+
+    def test_error_parity_with_oracle(self):
+        # Infinite-demand flow with no links: both kernels refuse.
+        with pytest.raises(ValueError):
+            max_min_fair_allocation({}, [[]])
+        with pytest.raises(ValueError):
+            max_min_fair_allocation_vectorized({}, [[]])
+
+    def test_link_loads_count_multiplicity(self):
+        matrix = FlowLinkMatrix.from_paths({"a": 10.0},
+                                           [["a", "a"], ["a"]])
+        loads = matrix.link_loads(np.array([2.0, 3.0]))
+        np.testing.assert_allclose(loads, [7.0])
+
+
+class TestEngineKernelParity:
+    """FluidSimulation's two kernels must agree bit-for-bit."""
+
+    def _run_both(self, network, flows, **kwargs):
+        results = []
+        for kernel in ("reference", "vectorized"):
+            sim = FluidSimulation(network, flows, kernel=kernel, **kwargs)
+            results.append(sim.run(duration_s=4.0, step_s=2.0))
+        return results
+
+    def test_static_scenario(self, small_network):
+        flows = [FluidFlow(0, 3), FluidFlow(1, 4), FluidFlow(2, 5),
+                 FluidFlow(3, 0, demand_bps=2e6)]
+        ref, vec = self._run_both(small_network, flows,
+                                  link_capacity_bps=10e6)
+        assert np.array_equal(ref.flow_rates_bps, vec.flow_rates_bps)
+        assert ref.device_load_bps == vec.device_load_bps
+        assert ref.flow_paths == vec.flow_paths
+
+    def test_dynamic_workload(self, small_network):
+        flows = [FluidFlow(0, 3), FluidFlow(1, 4, start_s=1.0,
+                                            size_bytes=500_000),
+                 FluidFlow(2, 5, size_bytes=2_000_000),
+                 FluidFlow(4, 1, start_s=3.0, size_bytes=100_000)]
+        ref, vec = self._run_both(small_network, flows,
+                                  link_capacity_bps=10e6)
+        assert np.array_equal(ref.flow_rates_bps, vec.flow_rates_bps)
+        assert np.array_equal(ref.flow_delivered_bits,
+                              vec.flow_delivered_bits)
+        fct_ref, fct_vec = ref.flow_fct_s, vec.flow_fct_s
+        assert ((fct_ref == fct_vec) | (np.isnan(fct_ref)
+                                        & np.isnan(fct_vec))).all()
+        assert ref.device_load_bps == vec.device_load_bps
+        assert ref.perf["allocations_solved"] == \
+            vec.perf["allocations_solved"]
+
+    def test_capacity_overrides(self, small_network):
+        flows = [FluidFlow(0, 3), FluidFlow(1, 4)]
+        paths = FluidSimulation(small_network, flows)._paths_at(
+            small_network.snapshot(0.0))
+        device = path_devices(paths[0], small_network.num_satellites)[0]
+        ref, vec = self._run_both(small_network, flows,
+                                  link_capacity_bps=10e6,
+                                  capacity_overrides={device: 1e6})
+        assert np.array_equal(ref.flow_rates_bps, vec.flow_rates_bps)
+        assert ref.device_load_bps == vec.device_load_bps
+
+    def test_unknown_kernel_rejected(self, small_network):
+        with pytest.raises(ValueError):
+            FluidSimulation(small_network, [FluidFlow(0, 1)],
+                            kernel="gpu")

@@ -181,6 +181,88 @@ class TestMaxMinProperties:
             assert any(loads[link] >= capacities[link] * (1 - 1e-6)
                        for link in flow)
 
+    # --- Repeated links + demand caps, against both kernels (ISSUE 6).
+
+    @st.composite
+    def _rich_scenario(draw):
+        """Random capacities/paths/demands where loop paths (repeated
+        link traversals) are common."""
+        num_links = draw(st.integers(min_value=1, max_value=6))
+        capacities = {
+            i: draw(st.floats(min_value=0.1, max_value=100.0))
+            for i in range(num_links)
+        }
+        num_flows = draw(st.integers(min_value=1, max_value=10))
+        flows = [
+            draw(st.lists(st.integers(min_value=0,
+                                      max_value=num_links - 1),
+                          min_size=1, max_size=6))
+            for _ in range(num_flows)
+        ]
+        demands = draw(st.one_of(
+            st.none(),
+            st.lists(st.floats(min_value=0.05, max_value=150.0),
+                     min_size=num_flows, max_size=num_flows)))
+        return capacities, flows, demands
+
+    @pytest.mark.parametrize("allocate", ["reference", "vectorized"])
+    @given(_rich_scenario())
+    @settings(max_examples=60)
+    def test_multiplicity_weighted_feasibility(self, allocate, scenario):
+        """Per link, ``sum(rate * traversal_multiplicity) <= capacity`` —
+        the invariant the old set-based allocator violated."""
+        from repro.fluid.vectorized import max_min_fair_allocation_vectorized
+        kernel = (max_min_fair_allocation if allocate == "reference"
+                  else max_min_fair_allocation_vectorized)
+        capacities, flows, demands = scenario
+        rates = kernel(capacities, flows, demands)
+        assert (rates >= 0.0).all()
+        loads = {link: 0.0 for link in capacities}
+        for flow, rate in zip(flows, rates):
+            for link in flow:  # one entry per traversal
+                loads[link] += rate
+        for link, load in loads.items():
+            assert load <= capacities[link] * (1 + 1e-6)
+
+    @pytest.mark.parametrize("allocate", ["reference", "vectorized"])
+    @given(_rich_scenario())
+    @settings(max_examples=60)
+    def test_pareto_optimal(self, allocate, scenario):
+        """No flow can be raised without lowering a flow with an equal or
+        smaller rate: every flow is demand-capped or has a saturated
+        on-path link where its rate is maximal."""
+        from repro.fluid.vectorized import max_min_fair_allocation_vectorized
+        kernel = (max_min_fair_allocation if allocate == "reference"
+                  else max_min_fair_allocation_vectorized)
+        capacities, flows, demands = scenario
+        rates = kernel(capacities, flows, demands)
+        loads = {link: 0.0 for link in capacities}
+        on_link = {link: [] for link in capacities}
+        for i, (flow, rate) in enumerate(zip(flows, rates)):
+            for link in flow:
+                loads[link] += rate
+            for link in set(flow):
+                on_link[link].append(i)
+        for i, flow in enumerate(flows):
+            if demands is not None and rates[i] >= demands[i] * (1 - 1e-6):
+                continue
+            saturated = [link for link in flow
+                         if loads[link] >= capacities[link] * (1 - 1e-6)]
+            assert saturated, f"flow {i} unconstrained"
+            assert any(
+                rates[i] >= max(rates[j] for j in on_link[link]) - 1e-6
+                for link in saturated)
+
+    @given(_rich_scenario())
+    @settings(max_examples=80)
+    def test_vectorized_kernel_matches_oracle(self, scenario):
+        from repro.fluid.vectorized import max_min_fair_allocation_vectorized
+        capacities, flows, demands = scenario
+        expected = max_min_fair_allocation(capacities, flows, demands)
+        got = max_min_fair_allocation_vectorized(capacities, flows,
+                                                 demands)
+        assert np.array_equal(expected, got)
+
 
 class TestEcdfProperties:
     @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
