@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check test smoke bench bench-fig2 bench-obs bench-sweep \
-	bench-faults bench-traffic bench-fluid-scale clean
+	bench-faults bench-traffic bench-fluid-scale bench-report clean
 
 check: test smoke bench-obs bench-sweep bench-faults bench-traffic \
 	bench-fluid-scale
@@ -23,10 +23,17 @@ smoke:
 bench:
 	$(PYTHON) -m pytest benchmarks -q -o testpaths=
 
-# Observability overhead smoke: fails if disabled-tracer instrumentation
-# costs more than 10% of the per-event budget.
+# Observability overhead gates: disabled-tracer instrumentation must
+# cost <= 10% of the per-event budget, and disabled span hooks <= 2%
+# of a 1e5-flow vectorized fluid solve.
 bench-obs:
-	$(PYTHON) -m pytest benchmarks/test_obs_overhead.py -q -o testpaths=
+	$(PYTHON) -m pytest benchmarks/test_obs_overhead.py \
+	    benchmarks/test_span_overhead.py -q -o testpaths=
+
+# Bench-trajectory regression report over results/BENCH_*.json (exits
+# nonzero when the latest run is >20% worse than the rolling best).
+bench-report:
+	$(PYTHON) -m repro bench-report
 
 # Sweep-engine gate: parallel must equal serial bit-for-bit, and reach
 # 1.7x at 4 workers (speedup half auto-skips below 4 cores).

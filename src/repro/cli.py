@@ -18,6 +18,9 @@ Usage (installed as ``python -m repro``):
    python -m repro traffic -o workload.json --seed 7   # gravity workload
    python -m repro report K1 --engine maxmin --workload workload.json
    python -m repro sweep K1 --workload workload.json --workers 4
+   python -m repro profile K1 Manila Dalian -o trace.json  # Perfetto trace
+   python -m repro sweep K1 --workers 4 --profile-out trace.json
+   python -m repro bench-report                  # BENCH_*.json regressions
 """
 
 from __future__ import annotations
@@ -29,6 +32,38 @@ from typing import List, Optional
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    """The scenario arguments ``report`` and ``profile`` share."""
+    parser.add_argument("shell")
+    parser.add_argument("src_city", nargs="?", default=None,
+                        help="source city (optional with --workload)")
+    parser.add_argument("dst_city", nargs="?", default=None,
+                        help="destination city (optional with --workload)")
+    parser.add_argument("--engine", choices=("packet", "aimd", "maxmin"),
+                        default="packet",
+                        help="packet simulator (default) or a fluid engine")
+    parser.add_argument("--kernel", choices=("vectorized", "reference"),
+                        default="vectorized",
+                        help="max-min allocation kernel (maxmin engine "
+                             "only): array waterfilling (default) or the "
+                             "pure-Python oracle")
+    parser.add_argument("--duration", type=float, default=10.0)
+    parser.add_argument("--step", type=float, default=1.0,
+                        help="probe/snapshot interval (seconds)")
+    parser.add_argument("--faults", default=None, metavar="SPEC_JSON",
+                        help="apply a fault schedule "
+                             "(JSON written by 'repro faults' or "
+                             "FaultSchedule.to_json)")
+    parser.add_argument("--workload", default=None,
+                        metavar="WORKLOAD_JSON",
+                        help="drive the run with a workload schedule "
+                             "(JSON written by 'repro traffic' or "
+                             "WorkloadSchedule.to_json)")
+    parser.add_argument("--metrics-out", default=None, metavar="JSON",
+                        help="dump the run's MetricsRegistry "
+                             "(counters/gauges/histograms/series) here")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,6 +108,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="track the pairs of a workload schedule "
                             "(JSON written by 'repro traffic') instead of "
                             "the permutation matrix")
+    sweep.add_argument("--profile-out", default=None, metavar="TRACE_JSON",
+                       help="run under the span profiler and write the "
+                            "merged (all workers) Chrome trace-event "
+                            "JSON here (load in Perfetto)")
 
     tles = sub.add_parser("tles", help="generate a 3LE file for a shell")
     tles.add_argument("shell")
@@ -91,36 +130,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser(
         "report", help="run a small scenario and dump its RunReport")
-    report.add_argument("shell")
-    report.add_argument("src_city", nargs="?", default=None,
-                        help="source city (optional with --workload)")
-    report.add_argument("dst_city", nargs="?", default=None,
-                        help="destination city (optional with --workload)")
-    report.add_argument("--engine", choices=("packet", "aimd", "maxmin"),
-                        default="packet",
-                        help="packet simulator (default) or a fluid engine")
-    report.add_argument("--kernel", choices=("vectorized", "reference"),
-                        default="vectorized",
-                        help="max-min allocation kernel (maxmin engine "
-                             "only): array waterfilling (default) or the "
-                             "pure-Python oracle")
-    report.add_argument("--duration", type=float, default=10.0)
-    report.add_argument("--step", type=float, default=1.0,
-                        help="probe/snapshot interval (seconds)")
+    _add_scenario_args(report)
     report.add_argument("-o", "--output", default=None,
                         help="write the full report JSON here")
     report.add_argument("--trace", default=None,
                         help="write the JSONL event trace here "
                              "(packet engine only)")
-    report.add_argument("--faults", default=None, metavar="SPEC_JSON",
-                        help="apply a fault schedule "
-                             "(JSON written by 'repro faults' or "
-                             "FaultSchedule.to_json)")
-    report.add_argument("--workload", default=None,
-                        metavar="WORKLOAD_JSON",
-                        help="drive the run with a workload schedule "
-                             "(JSON written by 'repro traffic' or "
-                             "WorkloadSchedule.to_json)")
+    report.add_argument("--profile-out", default=None,
+                        metavar="TRACE_JSON",
+                        help="run under the span profiler and write the "
+                             "Chrome trace-event JSON here (load in "
+                             "Perfetto)")
+
+    profile = sub.add_parser(
+        "profile", help="run a scenario under the span profiler and "
+                        "export a Perfetto-loadable Chrome trace")
+    _add_scenario_args(profile)
+    profile.add_argument("-o", "--output", required=True,
+                         help="write the Chrome trace-event JSON here "
+                              "(open at https://ui.perfetto.dev)")
+    profile.add_argument("--report-out", default=None, metavar="JSON",
+                         help="also write the full RunReport JSON here")
+
+    bench_report = sub.add_parser(
+        "bench-report", help="compare the BENCH_*.json trajectories "
+                             "against their rolling best and flag "
+                             "regressions (nonzero exit)")
+    bench_report.add_argument("--results-dir", default="results",
+                              help="directory holding BENCH_*.json "
+                                   "trajectory files")
+    bench_report.add_argument("--threshold", type=float, default=0.2,
+                              help="relative regression threshold "
+                                   "(default 0.2 = 20%%)")
+    bench_report.add_argument("--metric", default=None,
+                              help="force the headline metric instead of "
+                                   "auto-selecting per trajectory")
 
     faults = sub.add_parser(
         "faults", help="generate a seeded synthetic fault schedule")
@@ -249,7 +293,7 @@ def _cmd_sweep(args) -> int:
     from .analysis.paths import pair_path_stats
     from .core.hypatia import Hypatia
     from .core.workloads import random_permutation_pairs
-    from .obs import MetricsRegistry
+    from .obs import MetricsRegistry, spans
 
     hypatia = Hypatia.from_shell_name(args.shell, num_cities=args.cities,
                                       faults=_load_faults(args.faults))
@@ -261,9 +305,24 @@ def _cmd_sweep(args) -> int:
     else:
         pairs = random_permutation_pairs(args.cities)
     registry = MetricsRegistry()
-    timelines = hypatia.compute_timelines(
-        pairs, duration_s=args.duration, step_s=args.step,
-        workers=args.workers, metrics=registry)
+    profile_out = getattr(args, "profile_out", None)
+    profiler = spans.install() if profile_out else None
+    try:
+        timelines = hypatia.compute_timelines(
+            pairs, duration_s=args.duration, step_s=args.step,
+            workers=args.workers, metrics=registry)
+    finally:
+        if profiler is not None:
+            spans.uninstall()
+    if profiler is not None:
+        events = profiler.write_chrome_trace(
+            profile_out,
+            metadata={"provenance": {"shell": args.shell,
+                                     "duration_s": args.duration,
+                                     "step_s": args.step,
+                                     "workers": args.workers}})
+        print(f"wrote {events} span events to {profile_out} "
+              f"(open at https://ui.perfetto.dev)")
     stats = pair_path_stats(timelines, hypatia.network.num_satellites)
     changes = np.array([s.num_path_changes for s in stats])
     spreads = np.array([s.hop_spread for s in stats])
@@ -350,13 +409,30 @@ def _cmd_sky(args) -> int:
     return 0
 
 
+def _run_provenance(args, faults, workload) -> dict:
+    """Run-identity fields for the report/profile provenance header."""
+    provenance = {
+        "shell": args.shell,
+        "duration_s": args.duration,
+        "step_s": args.step,
+    }
+    if faults is not None:
+        provenance["faults"] = {"seed": faults.seed,
+                                "num_events": faults.num_events}
+    if workload is not None:
+        provenance["workload"] = {"seed": workload.seed,
+                                  "num_flows": workload.num_flows}
+    return provenance
+
+
 def _cmd_report(args) -> int:
     from .core.hypatia import Hypatia
     from .fluid.engine import FluidFlow
-    from .obs import MetricsRegistry, RingBufferTracer
+    from .obs import MetricsRegistry, RingBufferTracer, spans
     from .transport.tcp import TcpNewRenoFlow
+    faults = _load_faults(args.faults)
     hypatia = Hypatia.from_shell_name(args.shell, num_cities=100,
-                                      faults=_load_faults(args.faults))
+                                      faults=faults)
     workload = _load_workload(args.workload)
     if workload is None and (args.src_city is None or args.dst_city is None):
         raise KeyError("report needs a src/dst city pair, a --workload "
@@ -364,42 +440,81 @@ def _cmd_report(args) -> int:
     pair = (hypatia.pair(args.src_city, args.dst_city)
             if args.src_city is not None and args.dst_city is not None
             else None)
+    provenance = _run_provenance(args, faults, workload)
 
-    if args.engine == "packet":
-        from .traffic import WorkloadSpawner
-        tracer = RingBufferTracer()
-        sim = hypatia.build_packet_simulator(tracer=tracer)
-        registry = MetricsRegistry()
-        sim.attach_probe(registry=registry, interval_s=args.step)
-        if pair is not None:
-            TcpNewRenoFlow(pair[0], pair[1]).install(sim)
-        spawner = (WorkloadSpawner(workload, metrics=registry).install(sim)
-                   if workload is not None else None)
-        sim.run(args.duration)
-        report = sim.report(registry=registry)
-        if spawner is not None:
-            report.extras["fct"] = spawner.fct_extras()
-        if args.trace:
-            tracer.to_jsonl(args.trace)
-            print(f"wrote {tracer.summary()['retained']} trace events "
-                  f"to {args.trace}")
-    else:
-        if args.trace:
-            print("note: --trace applies to the packet engine only",
-                  file=sys.stderr)
-        registry = MetricsRegistry()
-        flows = [FluidFlow(pair[0], pair[1])] if pair is not None else []
-        fluid = hypatia.build_fluid_simulation(
-            flows, mode=args.engine, metrics=registry, workload=workload,
-            kernel=args.kernel)
-        result = fluid.run(args.duration, step_s=args.step)
-        report = result.report(registry=registry)
+    trace_out = getattr(args, "trace", None)
+    profile_out = getattr(args, "profile_out", None)
+    profiler = spans.install() if profile_out else None
+    try:
+        if args.engine == "packet":
+            from .traffic import WorkloadSpawner
+            tracer = RingBufferTracer()
+            sim = hypatia.build_packet_simulator(tracer=tracer)
+            registry = MetricsRegistry()
+            sim.attach_probe(registry=registry, interval_s=args.step)
+            if pair is not None:
+                TcpNewRenoFlow(pair[0], pair[1]).install(sim)
+            spawner = (WorkloadSpawner(workload,
+                                       metrics=registry).install(sim)
+                       if workload is not None else None)
+            sim.run(args.duration)
+            report = sim.report(registry=registry)
+            if spawner is not None:
+                report.extras["fct"] = spawner.fct_extras()
+            if trace_out:
+                tracer.to_jsonl(trace_out)
+                print(f"wrote {tracer.summary()['retained']} trace events "
+                      f"to {trace_out}")
+        else:
+            if trace_out:
+                print("note: --trace applies to the packet engine only",
+                      file=sys.stderr)
+            registry = MetricsRegistry()
+            flows = ([FluidFlow(pair[0], pair[1])] if pair is not None
+                     else [])
+            fluid = hypatia.build_fluid_simulation(
+                flows, mode=args.engine, metrics=registry,
+                workload=workload, kernel=args.kernel)
+            result = fluid.run(args.duration, step_s=args.step)
+            report = result.report(registry=registry)
+    finally:
+        if profiler is not None:
+            spans.uninstall()
 
+    report.provenance = {**(report.provenance or {}), **provenance}
     print(report.describe())
-    if args.output:
+    if getattr(args, "output", None):
         report.to_json(args.output)
         print(f"wrote report to {args.output}")
+    if getattr(args, "metrics_out", None):
+        registry.to_json(args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}")
+    if profiler is not None:
+        events = profiler.write_chrome_trace(
+            profile_out, metadata={"provenance": report.provenance})
+        print(f"wrote {events} span events to {profile_out} "
+              f"(open at https://ui.perfetto.dev)")
     return 0
+
+
+def _cmd_profile(args) -> int:
+    """``repro profile`` is ``repro report`` with the profiler on and the
+    Chrome trace as the primary output."""
+    args.profile_out = args.output
+    args.output = args.report_out
+    return _cmd_report(args)
+
+
+def _cmd_bench_report(args) -> int:
+    from .obs.bench import format_reports, scan_results_dir
+    reports = scan_results_dir(args.results_dir, threshold=args.threshold,
+                               metric=args.metric)
+    if not reports:
+        print(f"no BENCH_*.json trajectories under {args.results_dir!r}")
+        return 0
+    for line in format_reports(reports, threshold=args.threshold):
+        print(line)
+    return 1 if any(report.regressed for report in reports) else 0
 
 
 def _cmd_faults(args) -> int:
@@ -463,6 +578,8 @@ _COMMANDS = {
     "czml": _cmd_czml,
     "sky": _cmd_sky,
     "report": _cmd_report,
+    "profile": _cmd_profile,
+    "bench-report": _cmd_bench_report,
     "faults": _cmd_faults,
     "traffic": _cmd_traffic,
 }

@@ -37,6 +37,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import spans
 from ..obs.metrics import MetricsRegistry
 from ..routing.engine import RoutingEngine
 from ..topology.dynamic_state import snapshot_times
@@ -179,7 +180,11 @@ class AimdFluidSimulation:
         previous_sat_sets: List[Optional[frozenset]] = [None] * num_flows
         flow_rtt = np.full(num_flows, self.rtt_estimate_s)
         faults = getattr(self.network, "fault_view", None)
+        profiler = spans.ACTIVE
+        run_span = profiler.begin("fluid.run") if profiler.enabled else -1
         for t_index, time_s in enumerate(times):
+            step_span = (profiler.begin("fluid.aimd.step")
+                         if profiler.enabled else -1)
             step_end = float(time_s) + step_s
             candidates = [i for i in range(num_flows)
                           if residual_bits[i] > 0.0
@@ -189,7 +194,11 @@ class AimdFluidSimulation:
                 paths = [frozen_paths[i] if i in in_play else None
                          for i in range(num_flows)]
             else:
+                path_span = (profiler.begin("fluid.paths")
+                             if profiler.enabled else -1)
                 paths = self._paths_at(float(time_s), candidates)
+                if path_span != -1:
+                    profiler.end(path_span)
             device_cache: Dict[Tuple[int, ...], Sequence[Hashable]] = {}
             devices: List[Optional[Sequence[Hashable]]] = []
             for path in paths:
@@ -296,6 +305,8 @@ class AimdFluidSimulation:
                            * slope_jitter * dt)
             cand_arr = np.asarray(candidates, dtype=np.int64)
             finite_res = np.isfinite(residual_bits)
+            sub_span = (profiler.begin("fluid.aimd.substeps")
+                        if profiler.enabled else -1)
             for sub in range(substeps):
                 sub_time = float(time_s) + sub * dt
                 if dynamic:
@@ -363,6 +374,8 @@ class AimdFluidSimulation:
                 grow = react & ~decrease
                 rates[grow] += increase_dt[grow]
                 rates[react] = np.minimum(rates[react], rate_cap[react])
+            if sub_span != -1:
+                profiler.end(sub_span)
             backlog_bits = {dev_keys[j]: float(backlog[j])
                             for j in np.flatnonzero(backlog > 0.0)}
             # Utilization over the step is what a 1 s monitor would report.
@@ -387,6 +400,10 @@ class AimdFluidSimulation:
                 if dynamic:
                     registry.series("traffic.active_flows").append(
                         float(time_s), float(int(active_mask.sum())))
+            if step_span != -1:
+                profiler.end(step_span)
+        if run_span != -1:
+            profiler.end(run_span)
 
         wall = time.perf_counter() - wall_start
         return FluidResult(times_s=times, flow_rates_bps=out_rates,

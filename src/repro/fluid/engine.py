@@ -28,6 +28,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import spans
 from ..obs.metrics import MetricsRegistry
 from ..obs.report import RunReport, fluid_run_report
 from ..routing.engine import RoutingEngine
@@ -211,6 +212,8 @@ class FluidResult:
         num_satellites: Node-numbering split point (satellites below it).
         link_capacity_bps: The uniform device capacity of the run.
         engine: Which engine produced the result ("maxmin" or "aimd").
+        kernel: Allocation kernel the engine ran ("vectorized",
+            "reference", or "" where the engine has only one).
         perf: Wall-clock accounting of the run (wall_time_s,
             snapshots_computed), filled by the engines.
         duration_s: Simulated horizon of the run.
@@ -230,6 +233,7 @@ class FluidResult:
     num_satellites: int
     link_capacity_bps: float
     engine: str = "maxmin"
+    kernel: str = ""
     perf: Dict[str, float] = field(default_factory=dict)
     duration_s: float = 0.0
     flow_offered_bits: Optional[np.ndarray] = None
@@ -441,6 +445,8 @@ class FluidSimulation:
         faults = getattr(self.network, "fault_view", None)
         step = (self._step_vectorized if self.kernel == "vectorized"
                 else self._step_reference)
+        profiler = spans.ACTIVE
+        run_span = profiler.begin("fluid.run") if profiler.enabled else -1
         for t_index, time_s in enumerate(times):
             time_s = float(time_s)
             step_end = time_s + step_s
@@ -454,12 +460,18 @@ class FluidSimulation:
                     frozen_paths[i] if i in in_play else None
                     for i in range(num_flows)]
             else:
+                span = (profiler.begin("fluid.paths")
+                        if profiler.enabled else -1)
                 snapshot = self.network.snapshot(time_s)
                 paths = self._paths_at(snapshot, candidates)
+                if span != -1:
+                    profiler.end(span)
             solves += step(t_index, time_s, step_end, paths, candidates,
                            starts, demand_caps, residual_bits,
                            delivered_bits, fct_s, rates, all_paths,
                            all_loads, dynamic, faults)
+        if run_span != -1:
+            profiler.end(run_span)
 
         wall = time.perf_counter() - wall_start
         perf = {"wall_time_s": wall,
@@ -472,6 +484,7 @@ class FluidSimulation:
                            num_satellites=self._num_sats,
                            link_capacity_bps=self.link_capacity_bps,
                            engine=self.ENGINE,
+                           kernel=self.kernel,
                            perf=perf,
                            duration_s=float(duration_s),
                            flow_offered_bits=(offered_bits if dynamic
@@ -506,6 +519,9 @@ class FluidSimulation:
 
         # Sub-event loop: [time_s, step_end) split at every arrival
         # and predicted completion; one max-min solve per interval.
+        profiler = spans.ACTIVE
+        loop_span = (profiler.begin("fluid.subevents")
+                     if profiler.enabled else -1)
         solves = 0
         tau = time_s
         recorded = False
@@ -515,8 +531,12 @@ class FluidSimulation:
                       and residual_bits[i] > 0.0
                       and i in flow_links]
             links_list = [flow_links[i] for i in active]
+            solve_span = (profiler.begin("fluid.maxmin_reference")
+                          if profiler.enabled else -1)
             allocated = max_min_fair_allocation(
                 capacities, links_list, demands=demand_caps[active])
+            if solve_span != -1:
+                profiler.end(solve_span)
             solves += 1
             if not recorded:
                 loads: Dict[Hashable, float] = {}
@@ -558,6 +578,8 @@ class FluidSimulation:
             tau = next_tau
             if tau >= step_end - _TIME_EPS_S:
                 break
+        if loop_span != -1:
+            profiler.end(loop_span)
         return solves
 
     def _step_vectorized(self, t_index: int, time_s: float, step_end: float,
@@ -582,15 +604,22 @@ class FluidSimulation:
                     key, self._num_sats, time_s)
             return capacity
 
+        profiler = spans.ACTIVE
         cand_paths = [paths[i] for i in candidates]
+        build_span = (profiler.begin("fluid.matrix_build")
+                      if profiler.enabled else -1)
         matrix, hop_counts = flow_link_matrix_from_paths(
             cand_paths, self._num_sats, self.network.num_nodes,
             capacity_of)
+        if build_span != -1:
+            profiler.end(build_span)
         keys = matrix.link_keys
 
         starts_c = starts[candidates]
         demands_c = demand_caps[candidates]
         has_path = hop_counts > 0
+        loop_span = (profiler.begin("fluid.subevents")
+                     if profiler.enabled else -1)
         solves = 0
         tau = time_s
         recorded = False
@@ -598,7 +627,11 @@ class FluidSimulation:
             active = np.flatnonzero((starts_c <= tau + _TIME_EPS_S)
                                     & (residual_bits[candidates] > 0.0)
                                     & has_path)
+            solve_span = (profiler.begin("fluid.waterfill")
+                          if profiler.enabled else -1)
             allocated = waterfill(matrix, demands=demands_c, active=active)
+            if solve_span != -1:
+                profiler.end(solve_span)
             solves += 1
             global_active = candidates[active]
             if not recorded:
@@ -644,6 +677,8 @@ class FluidSimulation:
             tau = next_tau
             if tau >= step_end - _TIME_EPS_S:
                 break
+        if loop_span != -1:
+            profiler.end(loop_span)
         return solves
 
     def _record_metrics(self, time_s: float, rates_row: np.ndarray,

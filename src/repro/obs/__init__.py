@@ -12,16 +12,27 @@ Three parts (see DESIGN.md "Observability"):
   series;
 * :mod:`repro.obs.report` — the :class:`RunReport` object unifying
   packet-simulator and fluid-engine run summaries (``repro report`` on
-  the command line).
+  the command line);
+* :mod:`repro.obs.spans` — the hierarchical span profiler measuring
+  where the *simulator's* wall-clock goes (``NullSpanProfiler`` by
+  default; Chrome trace-event / Perfetto export, cross-process sweep
+  merge, and the report's ``phases`` section when enabled);
+* :mod:`repro.obs.bench` — regression detection over the
+  ``results/BENCH_*.json`` trajectories (``repro bench-report``).
 
 This package deliberately imports nothing from the simulation, transport,
 routing, or fluid layers — they all import *it*.
 """
 
+from .bench import (TrajectoryReport, compare_trajectory, format_reports,
+                    scan_results_dir)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       TimeSeriesLog)
 from .probes import SimulatorProbe, isl_utilization_from_registry
 from .report import RunReport, fluid_run_report, packet_run_report
+from .spans import (NULL_PROFILER, NullSpanProfiler, SpanProfiler,
+                    SpanProfilerBase, SpanRecord, format_phases, install,
+                    profiled, uninstall)
 from .trace import (NULL_TRACER, FLOW_CWND, FLOW_RTT, FLOW_STATE,
                     FWD_UPDATE, PKT_DELIVER, PKT_DROP, PKT_ENQUEUE,
                     PKT_TX_FINISH, PKT_TX_START, ROUTE_CHANGE,
@@ -32,6 +43,10 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "TimeSeriesLog",
     "SimulatorProbe", "isl_utilization_from_registry",
     "RunReport", "fluid_run_report", "packet_run_report",
+    "SpanProfilerBase", "NullSpanProfiler", "SpanProfiler", "SpanRecord",
+    "NULL_PROFILER", "install", "uninstall", "profiled", "format_phases",
+    "TrajectoryReport", "compare_trajectory", "format_reports",
+    "scan_results_dir",
     "Tracer", "NullTracer", "RingBufferTracer", "TraceEvent", "TraceFilter",
     "NULL_TRACER",
     "PKT_ENQUEUE", "PKT_TX_START", "PKT_TX_FINISH", "PKT_DELIVER",

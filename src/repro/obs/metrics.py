@@ -18,11 +18,16 @@ import math
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "TimeSeriesLog",
-           "MetricsRegistry", "DEFAULT_BUCKETS"]
+           "MetricsRegistry", "DEFAULT_BUCKETS", "EXACT_QUANTILE_SAMPLES"]
 
 #: Default histogram bucket upper bounds (log-spaced, seconds-friendly).
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0)
+
+#: Histograms keep raw samples up to this count so small-sample
+#: quantiles are exact (nearest-rank); past it they fall back to
+#: bucket-resolution quantiles with O(buckets) memory.
+EXACT_QUANTILE_SAMPLES = 256
 
 
 class TimeSeriesLog:
@@ -96,6 +101,11 @@ class Gauge:
 class Histogram:
     """Fixed-bucket histogram with running sum/min/max.
 
+    Quantiles are *exact* (nearest-rank over retained raw samples) while
+    the sample count stays within :data:`EXACT_QUANTILE_SAMPLES`; beyond
+    that the raw samples are discarded and quantiles degrade to bucket
+    resolution, keeping memory O(buckets) on hot paths.
+
     Args:
         name: Instrument name.
         buckets: Ascending upper bounds; an implicit +inf bucket catches
@@ -103,7 +113,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "bounds", "counts", "count", "sum",
-                 "min", "max")
+                 "min", "max", "_samples")
 
     def __init__(self, name: str,
                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
@@ -117,6 +127,7 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._samples: Optional[List[float]] = []
 
     def observe(self, value: float) -> None:
         self.counts[bisect.bisect_left(self.bounds, value)] += 1
@@ -126,17 +137,38 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        samples = self._samples
+        if samples is not None:
+            if self.count <= EXACT_QUANTILE_SAMPLES:
+                samples.append(value)
+            else:
+                self._samples = None
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    @property
+    def exact(self) -> bool:
+        """Whether :meth:`quantile` is still exact (small sample)."""
+        return self._samples is not None
+
     def quantile(self, q: float) -> float:
-        """Bucket-resolution quantile (upper bound of the q-bucket)."""
+        """The q-quantile of the observed values.
+
+        Exact nearest-rank while the sample count is within
+        :data:`EXACT_QUANTILE_SAMPLES`; bucket-resolution (upper bound
+        of the q-bucket) afterwards.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
+        samples = self._samples
+        if samples is not None:
+            ordered = sorted(samples)
+            rank = max(1, math.ceil(q * len(ordered)))
+            return ordered[rank - 1]
         target = q * self.count
         cumulative = 0
         for i, count in enumerate(self.counts):
@@ -153,6 +185,9 @@ class Histogram:
             "mean": self.mean,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
+            "exact_quantiles": self.exact,
+            "p50": self.quantile(0.5) if self.count else None,
+            "p99": self.quantile(0.99) if self.count else None,
             "buckets": {
                 (str(bound) if i < len(self.bounds) else "+inf"): count
                 for i, (bound, count) in enumerate(

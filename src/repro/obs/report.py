@@ -54,6 +54,13 @@ class RunReport:
         metrics: ``MetricsRegistry.as_dict()`` contents, if a registry
             was attached to the run.
         trace: Tracer summary (event counts), if tracing was enabled.
+        phases: Span-profiler self-time summary
+            (:meth:`repro.obs.spans.SpanProfiler.phase_summary`), if a
+            profiler was active during the run.
+        provenance: Self-describing run identity — engine/kernel names,
+            seeds, workers, faults/workload schedule identity — so a
+            report (or the profile exported next to it) can be matched
+            back to the exact scenario that produced it.
     """
 
     kind: str
@@ -61,6 +68,8 @@ class RunReport:
     summary: Dict[str, Any]
     metrics: Optional[Dict[str, Any]] = None
     trace: Optional[Dict[str, Any]] = None
+    phases: Optional[Dict[str, Any]] = None
+    provenance: Optional[Dict[str, Any]] = None
     extras: Dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self, deterministic: bool = False) -> Dict[str, Any]:
@@ -82,10 +91,16 @@ class RunReport:
             "duration_s": self.duration_s,
             "summary": summary,
         }
+        if self.provenance is not None:
+            payload["provenance"] = self.provenance
         if self.metrics is not None:
             payload["metrics"] = self.metrics
         if self.trace is not None:
             payload["trace"] = self.trace
+        # Phase timings are wall-clock measurements, like
+        # WALL_CLOCK_KEYS — drop them from the deterministic form.
+        if self.phases is not None and not deterministic:
+            payload["phases"] = self.phases
         payload.update(self.extras)
         return payload
 
@@ -97,6 +112,12 @@ class RunReport:
     def describe(self) -> str:
         """A short human-readable digest (CLI output)."""
         lines = [f"[{self.kind}] {self.duration_s:.1f}s simulated"]
+        if self.provenance:
+            identity = ", ".join(f"{key}={value}" for key, value
+                                 in sorted(self.provenance.items())
+                                 if not isinstance(value, dict))
+            if identity:
+                lines.append(f"  provenance: {identity}")
         for key, value in sorted(self.summary.items()):
             if isinstance(value, float):
                 lines.append(f"  {key}: {value:.6g}")
@@ -115,13 +136,28 @@ class RunReport:
         if self.metrics is not None:
             series = self.metrics.get("series", {})
             lines.append(f"  metrics: {len(series)} sampled series")
+        if self.phases:
+            from .spans import format_phases
+            lines.extend("  " + line
+                         for line in format_phases(self.phases, top=5))
         return "\n".join(lines)
+
+
+def _active_phase_summary() -> Optional[Dict[str, Any]]:
+    """Phase summary of the ambient span profiler, if one is installed."""
+    from . import spans
+    profiler = spans.ACTIVE
+    if profiler.enabled and isinstance(profiler, spans.SpanProfiler):
+        return profiler.phase_summary()
+    return None
 
 
 def packet_run_report(sim: "PacketSimulator", duration_s: float,
                       registry: Optional[MetricsRegistry] = None,
                       tracer: Optional[Tracer] = None,
-                      include_series: bool = True) -> RunReport:
+                      include_series: bool = True,
+                      provenance: Optional[Dict[str, Any]] = None
+                      ) -> RunReport:
     """Build the report of a packet-simulator run.
 
     Args:
@@ -130,6 +166,8 @@ def packet_run_report(sim: "PacketSimulator", duration_s: float,
         registry: Metrics to embed (e.g. a probe's registry).
         tracer: Tracer whose summary to embed; defaults to the
             simulator's own when it is a summarizing tracer.
+        provenance: Extra run-identity fields to fold into the report's
+            provenance header.
     """
     stats = sim.stats
     summary: Dict[str, Any] = dict(stats.as_dict())
@@ -139,13 +177,19 @@ def packet_run_report(sim: "PacketSimulator", duration_s: float,
                      if isinstance(tracer, RingBufferTracer) else None)
     metrics = (registry.as_dict(include_series=include_series)
                if registry is not None else None)
+    identity: Dict[str, Any] = {"engine": "packet"}
+    if provenance:
+        identity.update(provenance)
     return RunReport(kind="packet", duration_s=duration_s, summary=summary,
-                     metrics=metrics, trace=trace_summary)
+                     metrics=metrics, trace=trace_summary,
+                     phases=_active_phase_summary(), provenance=identity)
 
 
 def fluid_run_report(result: "FluidResult",
                      registry: Optional[MetricsRegistry] = None,
-                     include_series: bool = True) -> RunReport:
+                     include_series: bool = True,
+                     provenance: Optional[Dict[str, Any]] = None
+                     ) -> RunReport:
     """Build the report of a fluid-engine run (max-min or AIMD).
 
     Workload-driven runs (finite flows) additionally carry an ``fct``
@@ -177,6 +221,12 @@ def fluid_run_report(result: "FluidResult",
                 if result.flow_delivered_bits is not None
                 and finite is not None else 0.0),
         }
+    identity: Dict[str, Any] = {"engine": result.engine}
+    if getattr(result, "kernel", ""):
+        identity["kernel"] = result.kernel
+    if provenance:
+        identity.update(provenance)
     return RunReport(kind=f"fluid.{result.engine}",
                      duration_s=duration,
-                     summary=summary, metrics=metrics, extras=extras)
+                     summary=summary, metrics=metrics, extras=extras,
+                     phases=_active_phase_summary(), provenance=identity)

@@ -45,6 +45,7 @@ from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
 from ..geo.constants import SPEED_OF_LIGHT_M_PER_S
+from ..obs import spans
 from ..obs.trace import NULL_TRACER, ROUTING_COMPUTE, Tracer
 from ..topology.gsl import GslEdges
 from ..topology.network import LeoNetwork, TopologySnapshot
@@ -248,6 +249,9 @@ class RoutingEngine:
         into one sparse matrix, and computes every destination tree with a
         single multi-index Dijkstra call.
         """
+        profiler = spans.ACTIVE
+        span = (profiler.begin("routing.route_to_many")
+                if profiler.enabled else -1)
         start = time.perf_counter()
         unique_gids: List[int] = []
         seen = set()
@@ -287,6 +291,8 @@ class RoutingEngine:
         if tracer.enabled:
             tracer.emit(float(snapshot.time_s), ROUTING_COMPUTE,
                         seq=len(unique_gids), value=elapsed)
+        if span != -1:
+            profiler.end(span)
         return MultiDestinationRouting(
             dst_gids=tuple(unique_gids),
             dst_nodes=dst_nodes,
@@ -313,6 +319,9 @@ class RoutingEngine:
             self.perf.transit_cache_hits += 1
             assert self._cached_transit is not None
             return self._cached_transit
+        profiler = spans.ACTIVE
+        span = (profiler.begin("routing.transit_build")
+                if profiler.enabled else -1)
         rows, cols, data = self._transit_edges(snapshot)
         directed = (np.concatenate([rows, cols]),
                     np.concatenate([cols, rows]),
@@ -320,6 +329,8 @@ class RoutingEngine:
         self._cached_snapshot = snapshot
         self._cached_transit = directed
         self.perf.transit_builds += 1
+        if span != -1:
+            profiler.end(span)
         return directed
 
     def _transit_edges(self, snapshot: TopologySnapshot

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..obs import spans
 from ..obs.trace import FWD_UPDATE, NULL_TRACER, ROUTE_CHANGE, Tracer
 from ..routing.engine import (
     UNREACHABLE,
@@ -115,6 +116,9 @@ class ForwardingController:
 
     def _refresh_routing(self) -> None:
         """Recompute all destination trees against the current snapshot."""
+        profiler = spans.ACTIVE
+        span = (profiler.begin("fwd.refresh_routing")
+                if profiler.enabled else -1)
         tracer = self._tracer
         old_routing = self._routing if tracer.enabled else {}
         if self._destinations:
@@ -141,6 +145,8 @@ class ForwardingController:
                 if changed:
                     tracer.emit(now, ROUTE_CHANGE, node=routing.dst_node,
                                 seq=dst_gid, value=float(changed))
+        if span != -1:
+            profiler.end(span)
 
     # ------------------------------------------------------------------
     # Lookup API used by the packet forwarder

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Iterator, Optional, Tuple
 
 from ..faults.injector import LinkFaultInjector
+from ..obs import spans
 from ..obs.metrics import MetricsRegistry
 from ..obs.probes import SimulatorProbe
 from ..obs.report import RunReport, packet_run_report
@@ -276,6 +277,9 @@ class PacketSimulator:
 
     def run(self, duration_s: float) -> None:
         """Start (if needed) and run the simulation until ``duration_s``."""
+        profiler = spans.ACTIVE
+        span = (profiler.begin("packet.event_loop")
+                if profiler.enabled else -1)
         start = time.perf_counter()
         if not self._started:
             self._started = True
@@ -283,6 +287,8 @@ class PacketSimulator:
         self.scheduler.run(until_s=duration_s)
         self.stats.wall_time_s += time.perf_counter() - start
         self.stats.events_processed = self.scheduler.events_processed
+        if span != -1:
+            profiler.end(span)
 
     def isl_device(self, from_sat: int, to_sat: int) -> LinkDevice:
         """The directed device of an ISL (for stats inspection)."""

@@ -27,34 +27,46 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import spans
 from ..topology.dynamic_state import PairTimeline, compute_pair_chunk
 from .spec import NetworkSpec
 
 __all__ = ["sweep_timelines", "shard_snapshots", "resolve_workers",
-           "record_sweep_metrics"]
+           "record_sweep_metrics", "ChunkRecord"]
 
 PairKey = Tuple[int, int]
 
+#: One chunk's execution record, in schedule order:
+#: ``(chunk_index, build_wall_s, total_wall_s, num_snapshots, worker_pid,
+#: snapshot_start, snapshot_stop)`` — the pid is the OS pid of whichever
+#: process executed the chunk, the bounds are its half-open snapshot
+#: index range within the full schedule.
+ChunkRecord = Tuple[int, float, float, int, int, int, int]
+
 
 def record_sweep_metrics(metrics, times_s: np.ndarray,
-                         chunk_walls: Sequence[Tuple[int, float, float, int]],
+                         chunk_walls: Sequence[ChunkRecord],
                          effective_workers: int, wall_s: float) -> None:
     """Publish a sweep's timing breakdown to a metrics registry.
 
-    ``chunk_walls`` holds one ``(chunk_index, build_wall_s, total_wall_s,
-    num_snapshots)`` entry per chunk, in schedule order.
+    ``chunk_walls`` holds one :data:`ChunkRecord` per chunk, in schedule
+    order.  Each chunk publishes its timings plus its executing worker's
+    OS pid and snapshot-index bounds, so merged span profiles can be
+    attributed unambiguously to the worker/chunk that produced them.
     """
     metrics.gauge("sweep.workers").set(float(effective_workers))
     metrics.gauge("sweep.wall_s").set(wall_s)
     metrics.counter("sweep.snapshots").inc(float(len(times_s)))
-    offset = 0
-    for index, build_wall_s, total_wall_s, count in chunk_walls:
-        at = float(times_s[offset]) if len(times_s) else 0.0
+    for (index, build_wall_s, total_wall_s, count,
+         worker_pid, start, stop) in chunk_walls:
+        at = float(times_s[start]) if start < len(times_s) else 0.0
         prefix = f"sweep.worker.{index}."
         metrics.series(prefix + "wall_s").append(at, total_wall_s)
         metrics.series(prefix + "build_s").append(at, build_wall_s)
         metrics.series(prefix + "snapshots").append(at, float(count))
-        offset += count
+        metrics.series(prefix + "pid").append(at, float(worker_pid))
+        metrics.series(prefix + "chunk_start").append(at, float(start))
+        metrics.series(prefix + "chunk_stop").append(at, float(stop))
 
 
 def shard_snapshots(num_snapshots: int,
@@ -99,19 +111,49 @@ def _mp_context():
         return multiprocessing.get_context("spawn")
 
 
-def _run_chunk(payload: Tuple[int, NetworkSpec, List[PairKey], np.ndarray]
-               ) -> Tuple[int, Dict[PairKey, tuple], float, float]:
+def _run_chunk(payload: Tuple[int, NetworkSpec, List[PairKey], np.ndarray,
+                              bool]
+               ) -> Tuple[int, Dict[PairKey, tuple], float, float, int,
+                          Optional[dict]]:
     """One worker's unit of work: rebuild the network, sweep one chunk.
 
     Module-level so multiprocessing pickles it by reference.  Returns
-    ``(chunk_index, chunk_result, build_wall_s, total_wall_s)``.
+    ``(chunk_index, chunk_result, build_wall_s, total_wall_s, os_pid,
+    span_profile)`` — the profile is the worker's serialized span tree
+    (:meth:`SpanProfiler.as_dict`) when the parent asked for profiling,
+    else None.
     """
-    chunk_index, spec, pairs, times_s = payload
-    started = time.perf_counter()
-    network = spec.build()
-    build_wall_s = time.perf_counter() - started
-    result = compute_pair_chunk(network, pairs, times_s)
-    return chunk_index, result, build_wall_s, time.perf_counter() - started
+    chunk_index, spec, pairs, times_s, profile = payload
+    profiler = None
+    if profile:
+        # A fresh local profiler: the fork child inherits the parent's
+        # installed profiler, whose spans would be lost with the child —
+        # replace it so this chunk's spans travel back in the return.
+        profiler = spans.SpanProfiler(label=f"sweep worker {chunk_index}")
+        spans.install(profiler)
+    try:
+        started = time.perf_counter()
+        chunk_span = (profiler.begin("sweep.chunk")
+                      if profiler is not None else -1)
+        build_span = (profiler.begin("sweep.build")
+                      if profiler is not None else -1)
+        network = spec.build()
+        if build_span != -1:
+            profiler.end(build_span)
+        build_wall_s = time.perf_counter() - started
+        compute_span = (profiler.begin("sweep.compute")
+                        if profiler is not None else -1)
+        result = compute_pair_chunk(network, pairs, times_s)
+        if compute_span != -1:
+            profiler.end(compute_span)
+        if chunk_span != -1:
+            profiler.end(chunk_span)
+    finally:
+        if profile:
+            spans.uninstall()
+    profile_dict = profiler.as_dict() if profiler is not None else None
+    return (chunk_index, result, build_wall_s,
+            time.perf_counter() - started, os.getpid(), profile_dict)
 
 
 def sweep_timelines(spec: NetworkSpec,
@@ -131,9 +173,10 @@ def sweep_timelines(spec: NetworkSpec,
             snapshot.
         metrics: Optional :class:`repro.obs.MetricsRegistry` receiving
             per-worker timing series (``sweep.worker.<k>.wall_s`` /
-            ``.build_s`` / ``.snapshots``, keyed by each chunk's first
-            snapshot time) plus ``sweep.workers`` / ``sweep.wall_s``
-            gauges and a ``sweep.snapshots`` counter.
+            ``.build_s`` / ``.snapshots`` / ``.pid`` / ``.chunk_start``
+            / ``.chunk_stop``, keyed by each chunk's first snapshot
+            time) plus ``sweep.workers`` / ``sweep.wall_s`` gauges and
+            a ``sweep.snapshots`` counter.
         mp_context: Multiprocessing context override (tests).
 
     Returns:
@@ -146,26 +189,47 @@ def sweep_timelines(spec: NetworkSpec,
         raise ValueError("need at least one pair to track")
     workers = resolve_workers(workers)
     sweep_started = time.perf_counter()
+    profiler = spans.ACTIVE
+    profiling = profiler.enabled
 
     if workers <= 1 or len(times_s) <= 1:
+        chunk_span = (profiler.begin("sweep.chunk") if profiling else -1)
         started = time.perf_counter()
+        build_span = (profiler.begin("sweep.build") if profiling else -1)
         network = spec.build()
+        if build_span != -1:
+            profiler.end(build_span)
         build_wall_s = time.perf_counter() - started
+        compute_span = (profiler.begin("sweep.compute")
+                        if profiling else -1)
         merged = compute_pair_chunk(network, pair_keys, times_s)
-        chunk_walls = [(0, build_wall_s, time.perf_counter() - started,
-                        len(times_s))]
+        if compute_span != -1:
+            profiler.end(compute_span)
+        if chunk_span != -1:
+            profiler.end(chunk_span)
+        chunk_walls: List[ChunkRecord] = [
+            (0, build_wall_s, time.perf_counter() - started,
+             len(times_s), os.getpid(), 0, len(times_s))]
         effective_workers = 1
     else:
         shards = shard_snapshots(len(times_s), workers)
-        payloads = [(index, spec, pair_keys, times_s[start:stop])
+        payloads = [(index, spec, pair_keys, times_s[start:stop],
+                     profiling)
                     for index, (start, stop) in enumerate(shards)]
         context = mp_context if mp_context is not None else _mp_context()
+        scatter_span = (profiler.begin("sweep.scatter_gather")
+                        if profiling else -1)
         with ProcessPoolExecutor(max_workers=len(payloads),
                                  mp_context=context) as pool:
             outcomes = sorted(pool.map(_run_chunk, payloads),
                               key=lambda item: item[0])
+        if scatter_span != -1:
+            profiler.end(scatter_span)
         # Deterministic time-order merge: concatenate chunk arrays in
-        # shard order, which is schedule order by construction.
+        # shard order, which is schedule order by construction.  The
+        # same order governs span-profile adoption, so merged traces
+        # are identical run-to-run regardless of worker scheduling.
+        merge_span = (profiler.begin("sweep.merge") if profiling else -1)
         merged = {}
         for pair in pair_keys:
             distances = np.concatenate(
@@ -174,10 +238,20 @@ def sweep_timelines(spec: NetworkSpec,
             for outcome in outcomes:
                 paths.extend(outcome[1][pair][1])
             merged[pair] = (distances, paths)
+        if profiling and isinstance(profiler, spans.SpanProfiler):
+            for (index, _, _, _, _, profile), (start, stop) in zip(
+                    outcomes, shards):
+                if profile is not None:
+                    profiler.adopt(profile, chunk_index=index,
+                                   snapshot_start=start,
+                                   snapshot_stop=stop)
+        if merge_span != -1:
+            profiler.end(merge_span)
         chunk_walls = [
-            (index, build_wall_s, total_wall_s, stop - start)
-            for (index, _, build_wall_s, total_wall_s), (start, stop)
-            in zip(outcomes, shards)
+            (index, build_wall_s, total_wall_s, stop - start,
+             worker_pid, start, stop)
+            for (index, _, build_wall_s, total_wall_s, worker_pid, _),
+                (start, stop) in zip(outcomes, shards)
         ]
         effective_workers = len(payloads)
 

@@ -10,6 +10,7 @@ shortest path and distance, and exposes the timelines downstream analyses
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -236,7 +237,8 @@ class DynamicState:
             wall_s = time.perf_counter() - started
             record_sweep_metrics(
                 metrics, self.times_s,
-                [(0, 0.0, wall_s, len(self.times_s))],
+                [(0, 0.0, wall_s, len(self.times_s), os.getpid(),
+                  0, len(self.times_s))],
                 effective_workers=1, wall_s=wall_s)
         return {
             pair: PairTimeline(src_gid=pair[0], dst_gid=pair[1],

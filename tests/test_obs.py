@@ -134,6 +134,47 @@ class TestMetrics:
         data = hist.as_dict()
         assert data["count"] == 3
 
+    def test_histogram_exact_small_sample_quantiles(self):
+        # Under EXACT_QUANTILE_SAMPLES observations, quantiles are exact
+        # nearest-rank over the raw samples, not bucket upper bounds.
+        hist = Histogram("rtt", buckets=(10.0, 100.0))
+        for value in (5.0, 1.0, 3.0, 2.0, 4.0):
+            hist.observe(value)
+        assert hist.exact
+        assert hist.quantile(0.5) == 3.0
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(1.0) == 5.0
+        assert hist.quantile(0.99) == 5.0
+
+    def test_histogram_as_dict_sum_count_and_quantiles(self):
+        hist = Histogram("rtt", buckets=(1.0, 10.0))
+        for value in (0.5, 2.0, 20.0):
+            hist.observe(value)
+        data = hist.as_dict()
+        assert data["count"] == 3
+        assert data["sum"] == pytest.approx(22.5)
+        assert data["exact_quantiles"] is True
+        assert data["p50"] == 2.0
+        assert data["p99"] == 20.0
+
+    def test_histogram_falls_back_past_sample_cap(self):
+        from repro.obs.metrics import EXACT_QUANTILE_SAMPLES
+
+        hist = Histogram("rtt", buckets=(1000.0, 10_000.0))
+        for value in range(EXACT_QUANTILE_SAMPLES + 1):
+            hist.observe(float(value))
+        assert not hist.exact
+        # Bucket-resolution fallback: the quantile lands on a bound.
+        assert hist.quantile(0.5) == 1000.0
+        assert hist.as_dict()["exact_quantiles"] is False
+
+    def test_histogram_empty_quantiles_none_in_dict(self):
+        hist = Histogram("rtt", buckets=(1.0,))
+        data = hist.as_dict()
+        assert data["count"] == 0
+        assert data["p50"] is None
+        assert data["p99"] is None
+
     def test_registry_get_or_create(self):
         registry = MetricsRegistry()
         assert registry.counter("a") is registry.counter("a")
