@@ -5,10 +5,11 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check test smoke bench bench-fig2 bench-obs bench-sweep \
-	bench-faults bench-traffic bench-fluid-scale bench-report clean
+	bench-faults bench-traffic bench-fluid-scale bench-routing \
+	bench-report clean
 
 check: test smoke bench-obs bench-sweep bench-faults bench-traffic \
-	bench-fluid-scale
+	bench-fluid-scale bench-routing
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -56,6 +57,14 @@ bench-traffic:
 # half auto-skips below 4 cores).  Appends results/BENCH_fluid_scale.json.
 bench-fluid-scale:
 	$(PYTHON) -m pytest benchmarks/test_fluid_scale.py -q -o testpaths=
+
+# Incremental-routing gate: repaired destination trees must equal the
+# from-scratch solve bit-for-bit (serial and workers=4), and reach 5x
+# per-snapshot routing time on S1 under sparse topology deltas (speedup
+# half auto-skips below 4 cores).  Appends
+# results/BENCH_routing_incremental.json.
+bench-routing:
+	$(PYTHON) -m pytest benchmarks/test_routing_incremental.py -q -o testpaths=
 
 # The scalability benches touched by the batched routing path.
 bench-fig2:

@@ -86,6 +86,11 @@ def build_parser() -> argparse.ArgumentParser:
     rtt.add_argument("--workers", type=int, default=1,
                      help="snapshot-sweep worker processes "
                           "(1 = serial, 0 = all cores)")
+    rtt.add_argument("--routing", choices=("incremental", "scratch"),
+                     default="incremental",
+                     help="forwarding-state recomputation strategy: "
+                          "repair between snapshots (default) or always "
+                          "from scratch — bit-identical results")
 
     sweep = sub.add_parser(
         "sweep", help="path-evolution sweep over a permutation "
@@ -98,6 +103,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=1,
                        help="snapshot-sweep worker processes "
                             "(1 = serial, 0 = all cores)")
+    sweep.add_argument("--routing", choices=("incremental", "scratch"),
+                       default="incremental",
+                       help="forwarding-state recomputation strategy: "
+                            "repair between snapshots (default) or "
+                            "always from scratch — bit-identical results")
     sweep.add_argument("-o", "--output", default=None,
                        help="write per-pair stats + sweep metrics JSON")
     sweep.add_argument("--faults", default=None, metavar="SPEC_JSON",
@@ -242,7 +252,7 @@ def _cmd_rtt(args) -> int:
     pair = hypatia.pair(args.src_city, args.dst_city)
     timeline = hypatia.compute_timelines(
         [pair], duration_s=args.duration, step_s=args.step,
-        workers=args.workers)[pair]
+        workers=args.workers, routing=args.routing)[pair]
     rtts = timeline.rtts_s
     finite = rtts[np.isfinite(rtts)]
     if finite.size == 0:
@@ -310,7 +320,8 @@ def _cmd_sweep(args) -> int:
     try:
         timelines = hypatia.compute_timelines(
             pairs, duration_s=args.duration, step_s=args.step,
-            workers=args.workers, metrics=registry)
+            workers=args.workers, metrics=registry,
+            routing=args.routing)
     finally:
         if profiler is not None:
             spans.uninstall()

@@ -155,6 +155,7 @@ class Hypatia:
                           duration_s: float, step_s: float = 0.1,
                           workers: Optional[int] = None,
                           metrics: Optional["MetricsRegistry"] = None,
+                          routing: str = "incremental",
                           ) -> Dict[Tuple[int, int], PairTimeline]:
         """Shortest-path RTT/path timelines for the given pairs.
 
@@ -167,9 +168,14 @@ class Hypatia:
                 serial — see :mod:`repro.sweep`.
             metrics: Optional registry receiving per-worker ``sweep.*``
                 timing series.
+            routing: ``"incremental"`` (default: repair forwarding state
+                between consecutive snapshots, falling back to full
+                recompute on large topology deltas) or ``"scratch"``
+                (always recompute) — bit-identical results either way;
+                see :mod:`repro.routing.incremental`.
         """
         state = DynamicState(self.network, pairs, duration_s=duration_s,
-                             step_s=step_s)
+                             step_s=step_s, routing=routing)
         return state.compute(workers=workers, metrics=metrics)
 
     def build_packet_simulator(self, link_config: Optional[LinkConfig] = None,

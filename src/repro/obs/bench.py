@@ -35,6 +35,7 @@ METRIC_PREFERENCE = (
     "solve_s",
     "wall_time_s",
     "wall_s",
+    "incremental_snapshot_s",
     "events_per_s",
     "snapshots_per_s",
     "speedup",

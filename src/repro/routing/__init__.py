@@ -6,8 +6,21 @@ from .engine import (
     MultiDestinationRouting,
     RoutingEngine,
     RoutingPerfCounters,
+    canonical_next_hops,
 )
-from .multipath import edge_disjoint_paths, k_shortest_paths, path_distance_m
+from .incremental import (
+    GraphDelta,
+    IncrementalPerfCounters,
+    IncrementalRouter,
+    diff_graphs,
+)
+from .multipath import (
+    edge_disjoint_paths,
+    edge_disjoint_paths_many,
+    k_shortest_paths,
+    k_shortest_paths_many,
+    path_distance_m,
+)
 
 __all__ = [
     "UNREACHABLE",
@@ -15,7 +28,14 @@ __all__ = [
     "MultiDestinationRouting",
     "RoutingEngine",
     "RoutingPerfCounters",
+    "canonical_next_hops",
+    "GraphDelta",
+    "IncrementalPerfCounters",
+    "IncrementalRouter",
+    "diff_graphs",
     "edge_disjoint_paths",
+    "edge_disjoint_paths_many",
     "k_shortest_paths",
+    "k_shortest_paths_many",
     "path_distance_m",
 ]

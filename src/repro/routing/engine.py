@@ -32,6 +32,17 @@ A source GS's ingress satellite is chosen afterwards by minimizing
 ``uplink + satellite-to-destination`` over its visible satellites; with a
 batched result this minimization is vectorized across destinations
 (:meth:`MultiDestinationRouting.source_ingress_many`).
+
+Next hops are *derived from the distances* rather than taken from the
+Dijkstra run's predecessor bookkeeping: a node's next hop toward the
+destination is its smallest-id neighbour ``u`` whose edge is *tight*
+(``dist[u] + w(u, v) == dist[v]`` exactly, in the same float64 ops the
+relaxation performed — see :func:`canonical_next_hops`).  The final
+distance array of Dijkstra with positive weights is the unique fixed
+point of ``dist[v] = min_u(dist[u] + w(u, v))`` regardless of heap
+order, so any algorithm that reproduces the distances — in particular
+the incremental repair in :mod:`repro.routing.incremental` — reproduces
+the next hops bit-for-bit through the same derivation.
 """
 
 from __future__ import annotations
@@ -51,10 +62,49 @@ from ..topology.gsl import GslEdges
 from ..topology.network import LeoNetwork, TopologySnapshot
 
 __all__ = ["DestinationRouting", "MultiDestinationRouting",
-           "RoutingEngine", "RoutingPerfCounters", "UNREACHABLE"]
+           "RoutingEngine", "RoutingPerfCounters", "UNREACHABLE",
+           "canonical_next_hops"]
 
 #: Marker used in next-hop arrays for "no route".
 UNREACHABLE = -1
+
+
+def canonical_next_hops(rows: np.ndarray, cols: np.ndarray,
+                        data: np.ndarray, distances: np.ndarray
+                        ) -> np.ndarray:
+    """Derive next-hop arrays from distance arrays, deterministically.
+
+    For every directed edge ``u -> v`` of the routing graph, ``u`` is a
+    valid next hop of ``v`` toward the tree root iff the edge is tight:
+    ``dist[u] + w(u, v) == dist[v]`` with exact float64 equality — the
+    relaxation that produced ``dist[v]`` performed this very addition, so
+    at least one tight edge exists for every reachable non-root node.
+    Among tight candidates the smallest node id wins, which makes the
+    result a pure function of the distances: two routing computations
+    that agree on distances (e.g. from-scratch and incremental repair)
+    agree on next hops bit-for-bit.
+
+    Args:
+        rows / cols / data: COO arrays of the directed routing graph.
+        distances: (D, num_nodes) distance rows, one per tree root.
+
+    Returns:
+        (D, num_nodes) int64 next hops; ``UNREACHABLE`` where no path
+        exists and at each row's root itself (distance 0, no tight
+        in-edge since all weights are positive).
+    """
+    num_trees, num_nodes = distances.shape
+    next_hop = np.full((num_trees, num_nodes), UNREACHABLE, dtype=np.int64)
+    sentinel = num_nodes  # greater than any node id
+    for tree in range(num_trees):
+        dist = distances[tree]
+        tight = dist[rows] + data == dist[cols]
+        tight &= np.isfinite(dist[cols])
+        best = np.full(num_nodes, sentinel, dtype=np.int64)
+        np.minimum.at(best, cols[tight], rows[tight])
+        found = best != sentinel
+        next_hop[tree, found] = best[found]
+    return next_hop
 
 
 @dataclass
@@ -253,36 +303,9 @@ class RoutingEngine:
         span = (profiler.begin("routing.route_to_many")
                 if profiler.enabled else -1)
         start = time.perf_counter()
-        unique_gids: List[int] = []
-        seen = set()
-        for gid in dst_gids:
-            gid = int(gid)
-            if gid not in seen:
-                seen.add(gid)
-                unique_gids.append(gid)
-        if not unique_gids:
-            raise ValueError("need at least one destination gid")
-        rows, cols, data = self._transit_arrays(snapshot)
-        dst_nodes = np.array([snapshot.gs_node_id(gid)
-                              for gid in unique_gids], dtype=np.int64)
-        # Non-relay destinations contribute their own GSLs, directed
-        # dst -> satellite so other trees cannot transit them; relay
-        # destinations are already (symmetrically) in the transit graph.
-        gsl_gids = [gid for gid in unique_gids
-                    if gid not in self._relay_gid_set]
-        gs_nodes, sat_ids, lengths = snapshot.gsl_edge_arrays(gsl_gids)
-        if len(gs_nodes):
-            rows = np.concatenate([rows, gs_nodes])
-            cols = np.concatenate([cols, sat_ids])
-            data = np.concatenate([data, lengths])
-        graph = csr_matrix((data, (rows, cols)),
-                           shape=(self._num_nodes, self._num_nodes))
-        distances, predecessors = dijkstra(
-            graph, directed=True, indices=dst_nodes,
-            return_predecessors=True)
-        distances = np.atleast_2d(distances)
-        next_hop = np.atleast_2d(predecessors).astype(np.int64)
-        next_hop[next_hop < 0] = UNREACHABLE
+        unique_gids = self._unique_gids(dst_gids)
+        graph, dst_nodes = self.destination_graph(snapshot, unique_gids)
+        distances, next_hop = self.solve_trees(graph, dst_nodes)
         elapsed = time.perf_counter() - start
         self.perf.trees_computed += len(unique_gids)
         self.perf.dijkstra_calls += 1
@@ -306,6 +329,104 @@ class RoutingEngine:
         """Shortest-path state toward ``dst_gid`` at this snapshot."""
         multi = self.route_to_many(snapshot, [dst_gid])
         return multi.routing_for(dst_gid)
+
+    @staticmethod
+    def _unique_gids(dst_gids: Sequence[int]) -> List[int]:
+        """Deduplicated int destination gids, first occurrence wins."""
+        unique_gids: List[int] = []
+        seen = set()
+        for gid in dst_gids:
+            gid = int(gid)
+            if gid not in seen:
+                seen.add(gid)
+                unique_gids.append(gid)
+        if not unique_gids:
+            raise ValueError("need at least one destination gid")
+        return unique_gids
+
+    def destination_graph(self, snapshot: TopologySnapshot,
+                          unique_gids: Sequence[int]
+                          ) -> Tuple[csr_matrix, np.ndarray]:
+        """The directed routing graph of one forwarding update.
+
+        Transit edges (cached per snapshot) plus every destination's own
+        GSLs directed out of the destination node, as one CSR matrix in
+        canonical (row-major, column-sorted, duplicate-summed) form, so
+        structurally identical updates produce byte-identical matrices.
+
+        Returns:
+            ``(graph, dst_nodes)`` — the (num_nodes, num_nodes) CSR
+            matrix and the (D,) graph node ids of the destinations.
+        """
+        graph, dst_nodes, _ = self.destination_graph_coo(snapshot,
+                                                         unique_gids)
+        return graph, dst_nodes
+
+    def destination_graph_coo(self, snapshot: TopologySnapshot,
+                              unique_gids: Sequence[int]
+                              ) -> Tuple[csr_matrix, np.ndarray,
+                                         Tuple[np.ndarray, np.ndarray,
+                                               np.ndarray]]:
+        """:meth:`destination_graph` plus the canonical COO edge arrays.
+
+        The CSR matrix is assembled directly from the edge triplets
+        sorted by ``row * num_nodes + col`` — one argsort instead of
+        scipy's generic COO machinery, which profiles several times
+        slower on the per-snapshot hot path.  The sorted triplets are
+        returned as well (they are what the incremental layer diffs), so
+        callers never pay a ``tocoo`` round trip.  In the never-observed
+        case of duplicate entries the build falls back to scipy's
+        duplicate-summing constructor to preserve the canonical form.
+        """
+        num_nodes = self._num_nodes
+        rows, cols, data = self._transit_arrays(snapshot)
+        dst_nodes = np.array([snapshot.gs_node_id(gid)
+                              for gid in unique_gids], dtype=np.int64)
+        # Non-relay destinations contribute their own GSLs, directed
+        # dst -> satellite so other trees cannot transit them; relay
+        # destinations are already (symmetrically) in the transit graph.
+        gsl_gids = [gid for gid in unique_gids
+                    if gid not in self._relay_gid_set]
+        gs_nodes, sat_ids, lengths = snapshot.gsl_edge_arrays(gsl_gids)
+        if len(gs_nodes):
+            rows = np.concatenate([rows, gs_nodes.astype(np.int64)])
+            cols = np.concatenate([cols, sat_ids.astype(np.int64)])
+            data = np.concatenate([data, lengths])
+        order = np.argsort(rows * np.int64(num_nodes) + cols,
+                           kind="stable")
+        rows, cols, data = rows[order], cols[order], data[order]
+        duplicates = (len(rows) > 1
+                      and bool(np.any((rows[1:] == rows[:-1])
+                                      & (cols[1:] == cols[:-1]))))
+        if duplicates:
+            graph = csr_matrix((data, (rows, cols)),
+                               shape=(num_nodes, num_nodes))
+            coo = graph.tocoo()
+            rows = coo.row.astype(np.int64)
+            cols = coo.col.astype(np.int64)
+            data = coo.data
+        else:
+            counts = np.bincount(rows, minlength=num_nodes)
+            indptr = np.concatenate(([0], np.cumsum(counts)))
+            graph = csr_matrix((data, cols, indptr),
+                               shape=(num_nodes, num_nodes))
+        return graph, dst_nodes, (rows, cols, data)
+
+    @staticmethod
+    def solve_trees(graph: csr_matrix, dst_nodes: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """All destination trees of one update, from scratch.
+
+        One multi-index C-level Dijkstra for the distances, then the
+        canonical next-hop derivation (see :func:`canonical_next_hops`).
+        """
+        distances = np.atleast_2d(dijkstra(graph, directed=True,
+                                           indices=dst_nodes))
+        coo = graph.tocoo()
+        next_hop = canonical_next_hops(coo.row.astype(np.int64),
+                                       coo.col.astype(np.int64),
+                                       coo.data, distances)
+        return distances, next_hop
 
     def _transit_arrays(self, snapshot: TopologySnapshot
                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -386,20 +507,36 @@ class RoutingEngine:
                  snapshot: TopologySnapshot,
                  src_gid: int) -> Optional[List[int]]:
         """Like :meth:`path` but reusing an existing destination tree."""
+        path, _ = self.path_and_distance_via(routing, snapshot, src_gid)
+        return path
+
+    def path_and_distance_via(self, routing: DestinationRouting,
+                              snapshot: TopologySnapshot, src_gid: int
+                              ) -> Tuple[Optional[List[int]], float]:
+        """Shortest path *and* its distance, one ingress minimization.
+
+        Like :meth:`path_via`, but also returns the source-to-destination
+        distance the ingress choice already computed — callers that need
+        both (the timeline inner loop) pay a single argmin over the
+        source's GSLs instead of two.
+
+        Returns:
+            ``(path, distance_m)``; ``(None, inf)`` while disconnected.
+        """
         src_edges = snapshot.gsl_edges[src_gid]
         ingress, distance = routing.source_ingress(src_edges)
         if ingress is None or not np.isfinite(distance):
-            return None
+            return None, float("inf")
         nodes = [snapshot.gs_node_id(src_gid)]
         current = ingress
         # Walk the shortest-path tree; bounded by node count.
         for _ in range(self._num_nodes + 1):
             nodes.append(int(current))
             if current == routing.dst_node:
-                return nodes
+                return nodes, distance
             current = routing.next_hop[current]
             if current == UNREACHABLE:
-                return None
+                return None, float("inf")
         raise RuntimeError("next-hop walk did not terminate; routing state "
                            "is inconsistent")
 

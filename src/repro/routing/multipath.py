@@ -11,18 +11,34 @@ Two primitives over a topology snapshot:
 
 Both honor the framework's rule that only satellites (and relays) forward:
 other ground stations are removed from the search graph.
+
+At sweep scale, use the batched :func:`k_shortest_paths_many` /
+:func:`edge_disjoint_paths_many` precompute: they materialize the
+snapshot graph once and evaluate every pair through
+:func:`networkx.restricted_view` (an O(1) overlay hiding third-party
+ground stations and consumed edges), instead of rebuilding and pruning
+the full graph per pair.
 """
 
 from __future__ import annotations
 
 from itertools import islice
-from typing import List, Optional, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import networkx as nx
 
 from ..topology.network import TopologySnapshot
 
-__all__ = ["k_shortest_paths", "edge_disjoint_paths", "path_distance_m"]
+__all__ = ["k_shortest_paths", "edge_disjoint_paths", "path_distance_m",
+           "k_shortest_paths_many", "edge_disjoint_paths_many"]
+
+PairKey = Tuple[int, int]
+PathSet = List[Tuple[List[int], float]]
+
+
+def _validate_pair(src_gid: int, dst_gid: int) -> None:
+    if src_gid == dst_gid:
+        raise ValueError("endpoints must differ")
 
 
 def _search_graph(snapshot: TopologySnapshot, src_gid: int,
@@ -35,6 +51,17 @@ def _search_graph(snapshot: TopologySnapshot, src_gid: int,
         if node not in keep and not graph.nodes[node].get("is_relay", False):
             graph.remove_node(node)
     return graph
+
+
+def _hidden_gs_nodes(snapshot: TopologySnapshot, graph: nx.Graph,
+                     src_gid: int, dst_gid: int) -> List[int]:
+    """Third-party non-relay GS nodes to hide for one pair's search."""
+    keep = {snapshot.gs_node_id(src_gid), snapshot.gs_node_id(dst_gid)}
+    return [
+        node for gid in range(snapshot.num_ground_stations)
+        if (node := snapshot.gs_node_id(gid)) not in keep
+        and not graph.nodes[node].get("is_relay", False)
+    ]
 
 
 def path_distance_m(graph: nx.Graph, path: List[int]) -> float:
@@ -58,11 +85,13 @@ def k_shortest_paths(snapshot: TopologySnapshot, src_gid: int,
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    if src_gid == dst_gid:
-        raise ValueError("endpoints must differ")
+    _validate_pair(src_gid, dst_gid)
     graph = _search_graph(snapshot, src_gid, dst_gid)
-    src = snapshot.gs_node_id(src_gid)
-    dst = snapshot.gs_node_id(dst_gid)
+    return _k_shortest_in(graph, snapshot.gs_node_id(src_gid),
+                          snapshot.gs_node_id(dst_gid), k)
+
+
+def _k_shortest_in(graph: nx.Graph, src: int, dst: int, k: int) -> PathSet:
     try:
         generator = nx.shortest_simple_paths(graph, src, dst,
                                              weight="distance_m")
@@ -85,10 +114,14 @@ def edge_disjoint_paths(snapshot: TopologySnapshot, src_gid: int,
     """
     if max_paths < 1:
         raise ValueError(f"max_paths must be >= 1, got {max_paths}")
+    # Equal endpoints used to slip through here and return ``max_paths``
+    # copies of the degenerate single-node path [src] at distance 0
+    # (nothing removes an edge, so the "shortest path" never changes).
+    _validate_pair(src_gid, dst_gid)
     graph = _search_graph(snapshot, src_gid, dst_gid)
     src = snapshot.gs_node_id(src_gid)
     dst = snapshot.gs_node_id(dst_gid)
-    found: List[Tuple[List[int], float]] = []
+    found: PathSet = []
     for _ in range(max_paths):
         try:
             path = nx.shortest_path(graph, src, dst, weight="distance_m")
@@ -97,3 +130,86 @@ def edge_disjoint_paths(snapshot: TopologySnapshot, src_gid: int,
         found.append((path, path_distance_m(graph, path)))
         graph.remove_edges_from(list(zip(path, path[1:])))
     return found
+
+
+def k_shortest_paths_many(snapshot: TopologySnapshot,
+                          pairs: Sequence[PairKey], k: int
+                          ) -> Dict[PairKey, PathSet]:
+    """Batched :func:`k_shortest_paths` over many pairs of one snapshot.
+
+    Builds the snapshot graph once and searches each pair through a
+    :func:`networkx.restricted_view` overlay hiding that pair's
+    third-party ground stations — the per-pair graph rebuild (the
+    dominant cost at sweep scale) is paid a single time.  Results match
+    :func:`k_shortest_paths` pair for pair.
+
+    Args:
+        snapshot: The topology at one instant.
+        pairs: (src_gid, dst_gid) pairs; duplicates are computed once.
+        k: Number of paths requested per pair.
+
+    Returns:
+        pair -> up to ``k`` ``(node-id path, distance_m)`` tuples.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    graph = snapshot.to_networkx()
+    results: Dict[PairKey, PathSet] = {}
+    for src_gid, dst_gid in pairs:
+        pair = (int(src_gid), int(dst_gid))
+        if pair in results:
+            continue
+        _validate_pair(*pair)
+        view = nx.restricted_view(
+            graph, _hidden_gs_nodes(snapshot, graph, *pair), ())
+        results[pair] = _k_shortest_in(
+            view, snapshot.gs_node_id(pair[0]),
+            snapshot.gs_node_id(pair[1]), k)
+    return results
+
+
+def edge_disjoint_paths_many(snapshot: TopologySnapshot,
+                             pairs: Sequence[PairKey], max_paths: int = 4
+                             ) -> Dict[PairKey, PathSet]:
+    """Batched :func:`edge_disjoint_paths` over many pairs of one snapshot.
+
+    One graph build serves every pair; each pair's greedy elimination
+    runs over a :func:`networkx.restricted_view` that hides its
+    third-party ground stations plus the edges its earlier paths
+    consumed (edge hiding is symmetric on undirected graphs), so the
+    base graph is never mutated.  Results match
+    :func:`edge_disjoint_paths` pair for pair.
+
+    Args:
+        snapshot: The topology at one instant.
+        pairs: (src_gid, dst_gid) pairs; duplicates are computed once.
+        max_paths: Per-pair cap on the disjoint set size.
+
+    Returns:
+        pair -> edge-disjoint ``(node-id path, distance_m)`` tuples.
+    """
+    if max_paths < 1:
+        raise ValueError(f"max_paths must be >= 1, got {max_paths}")
+    graph = snapshot.to_networkx()
+    results: Dict[PairKey, PathSet] = {}
+    for src_gid, dst_gid in pairs:
+        pair = (int(src_gid), int(dst_gid))
+        if pair in results:
+            continue
+        _validate_pair(*pair)
+        hidden = _hidden_gs_nodes(snapshot, graph, *pair)
+        src = snapshot.gs_node_id(pair[0])
+        dst = snapshot.gs_node_id(pair[1])
+        consumed: List[Tuple[int, int]] = []
+        found: PathSet = []
+        for _ in range(max_paths):
+            view = nx.restricted_view(graph, hidden, consumed)
+            try:
+                path = nx.shortest_path(view, src, dst,
+                                        weight="distance_m")
+            except nx.NetworkXNoPath:
+                break
+            found.append((path, path_distance_m(graph, path)))
+            consumed.extend(zip(path, path[1:]))
+        results[pair] = found
+    return results

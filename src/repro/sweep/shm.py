@@ -1,0 +1,186 @@
+"""Shared-memory transport for immutable sweep-worker arrays.
+
+The sweep engine ships each worker a picklable payload.  The network
+recipe itself (:class:`~repro.sweep.spec.NetworkSpec`) is tiny, but two
+arrays used to ride along by value in every chunk payload: the full
+snapshot schedule and the static ISL interconnect.  Both are immutable
+for the lifetime of a sweep, so this module places them in
+:mod:`multiprocessing.shared_memory` segments once and hands workers a
+small descriptor to attach read-only views — no per-chunk re-pickling,
+and one physical copy of the transit arrays regardless of worker count.
+
+Lifetime protocol (see DESIGN.md, "Incremental routing"):
+
+1. The parent calls :meth:`SharedArrayPack.create` before the pool
+   starts; the pack owns the segments.
+2. Each worker calls :func:`attach_arrays` inside its chunk, reads
+   through the returned views, and closes the attachment before
+   returning (worker results never alias shared memory).
+3. The parent calls :meth:`SharedArrayPack.unlink` after the pool has
+   drained, destroying the segments.
+
+Platforms without ``multiprocessing.shared_memory`` (or without a
+usable ``/dev/shm``) degrade gracefully: the engine falls back to
+pickling the arrays into the payloads, bit-identical either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+    HAVE_SHARED_MEMORY = True
+except ImportError:  # pragma: no cover - exotic minimal builds
+    _shared_memory = None
+    HAVE_SHARED_MEMORY = False
+
+__all__ = ["HAVE_SHARED_MEMORY", "SharedArrayDescriptor",
+           "SharedArrayPack", "AttachedArrays", "attach_arrays"]
+
+
+@dataclass(frozen=True)
+class SharedArrayDescriptor:
+    """Picklable handle to one shared ndarray.
+
+    Attributes:
+        shm_name: OS-level segment name; ``None`` for zero-size arrays,
+            which are reconstructed locally (POSIX shared memory cannot
+            be zero bytes).
+        dtype: Numpy dtype string.
+        shape: Array shape.
+    """
+
+    shm_name: Optional[str]
+    dtype: str
+    shape: Tuple[int, ...]
+
+
+def _attach_segment(name: str):
+    """Attach to an existing segment without resource-tracker tracking.
+
+    Before 3.13 (``track=False``), attaching registers the segment with
+    :mod:`multiprocessing`'s resource tracker exactly like creating
+    does.  Under ``fork`` that double-registers it with the parent's
+    tracker; under ``spawn`` the worker's own tracker "cleans up" (i.e.
+    destroys) the parent-owned segment when the worker exits.  Only the
+    creating parent should track, so suppress registration during the
+    attach.
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        pass
+    from multiprocessing import resource_tracker
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedArrayPack:
+    """Parent-side owner of a set of named shared-memory arrays."""
+
+    def __init__(self) -> None:
+        self._segments = []
+        #: name -> :class:`SharedArrayDescriptor`, the picklable payload
+        #: workers pass to :func:`attach_arrays`.
+        self.descriptors: Dict[str, SharedArrayDescriptor] = {}
+
+    @classmethod
+    def create(cls, arrays: Mapping[str, np.ndarray]) -> "SharedArrayPack":
+        """Copy ``arrays`` into fresh shared segments.
+
+        Raises whatever the platform raises when shared memory is not
+        usable (callers fall back to pickling); the partially-created
+        pack is unlinked first so nothing leaks.
+        """
+        if not HAVE_SHARED_MEMORY:
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        pack = cls()
+        try:
+            for name, array in arrays.items():
+                array = np.ascontiguousarray(array)
+                if array.nbytes == 0:
+                    pack.descriptors[name] = SharedArrayDescriptor(
+                        shm_name=None, dtype=str(array.dtype),
+                        shape=tuple(array.shape))
+                    continue
+                segment = _shared_memory.SharedMemory(
+                    create=True, size=array.nbytes)
+                pack._segments.append(segment)
+                view = np.ndarray(array.shape, dtype=array.dtype,
+                                  buffer=segment.buf)
+                view[...] = array
+                pack.descriptors[name] = SharedArrayDescriptor(
+                    shm_name=segment.name, dtype=str(array.dtype),
+                    shape=tuple(array.shape))
+        except Exception:
+            pack.unlink()
+            raise
+        return pack
+
+    def unlink(self) -> None:
+        """Close and destroy every segment (idempotent)."""
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+        self._segments = []
+
+
+class AttachedArrays:
+    """Worker-side read-only attachment to a :class:`SharedArrayPack`.
+
+    Use as a context manager; the views in :attr:`arrays` are invalid
+    after :meth:`close`, so copy anything that must outlive the chunk.
+    """
+
+    def __init__(self, descriptors: Mapping[str, SharedArrayDescriptor]
+                 ) -> None:
+        self._segments = []
+        self.arrays: Dict[str, np.ndarray] = {}
+        try:
+            for name, desc in descriptors.items():
+                if desc.shm_name is None:
+                    self.arrays[name] = np.empty(
+                        desc.shape, dtype=np.dtype(desc.dtype))
+                    continue
+                segment = _attach_segment(desc.shm_name)
+                self._segments.append(segment)
+                view = np.ndarray(desc.shape, dtype=np.dtype(desc.dtype),
+                                  buffer=segment.buf)
+                view.flags.writeable = False
+                self.arrays[name] = view
+        except Exception:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Release the attachment (idempotent); views become invalid."""
+        self.arrays = {}
+        for segment in self._segments:
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+        self._segments = []
+
+    def __enter__(self) -> "AttachedArrays":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def attach_arrays(descriptors: Mapping[str, SharedArrayDescriptor]
+                  ) -> AttachedArrays:
+    """Attach to the arrays a :class:`SharedArrayPack` published."""
+    return AttachedArrays(descriptors)

@@ -22,7 +22,7 @@ from .network import LeoNetwork
 
 __all__ = ["snapshot_times", "PairTimeline", "DynamicState",
            "satellites_of_path", "count_path_changes",
-           "compute_pair_chunk"]
+           "compute_pair_chunk", "make_routing_engine"]
 
 
 def snapshot_times(duration_s: float, step_s: float) -> np.ndarray:
@@ -36,8 +36,14 @@ def snapshot_times(duration_s: float, step_s: float) -> np.ndarray:
         raise ValueError(f"duration must be positive, got {duration_s}")
     if step_s <= 0.0:
         raise ValueError(f"step must be positive, got {step_s}")
+    # ceil(duration / step) in floats can land one tick past the end in
+    # either direction (8.2 / 0.1 rounds up to 83; a downward-rounding
+    # quotient could lose a valid tick), so over-generate by one and trim
+    # to the defining property: exactly the ticks whose float64 value
+    # k * step is strictly below the duration.
     count = int(np.ceil(duration_s / step_s))
-    return np.arange(count) * step_s
+    times = np.arange(count + 1) * step_s
+    return times[times < duration_s]
 
 
 def satellites_of_path(path: Optional[Sequence[int]],
@@ -109,10 +115,31 @@ def count_path_changes(satellite_sets: Sequence[frozenset]) -> int:
     return changes
 
 
+def make_routing_engine(network: LeoNetwork, routing: str = "incremental"):
+    """Build the routing engine a timeline walk should use.
+
+    ``"incremental"`` (the default everywhere) repairs destination trees
+    between consecutive snapshots when the topology delta is sparse and
+    falls back to the batched from-scratch Dijkstra otherwise — always
+    bit-identical to ``"scratch"`` (see :mod:`repro.routing.incremental`).
+    """
+    # Imported here: repro.routing depends on repro.topology for its
+    # type signatures, so a module-level import would be circular.
+    if routing == "incremental":
+        from ..routing.incremental import IncrementalRouter
+        return IncrementalRouter(network)
+    if routing == "scratch":
+        from ..routing.engine import RoutingEngine
+        return RoutingEngine(network)
+    raise ValueError(f"unknown routing mode {routing!r}; "
+                     f"expected 'incremental' or 'scratch'")
+
+
 def compute_pair_chunk(network: LeoNetwork,
                        pairs: Sequence[Tuple[int, int]],
                        times_s: np.ndarray,
                        engine=None,
+                       routing: str = "incremental",
                        ) -> Dict[Tuple[int, int],
                                  Tuple[np.ndarray,
                                        List[Optional[Tuple[int, ...]]]]]:
@@ -123,14 +150,18 @@ def compute_pair_chunk(network: LeoNetwork,
     multiprocessing can pickle it by reference, operating on a contiguous
     chunk of the snapshot schedule.  All destination trees of one
     snapshot come from a single batched Dijkstra
-    (:meth:`RoutingEngine.route_to_many`).
+    (:meth:`RoutingEngine.route_to_many`), repaired incrementally between
+    snapshots when the topology delta is sparse (the default ``routing``).
 
     Args:
         network: The LEO network to snapshot.
         pairs: (src_gid, dst_gid) pairs to track.
         times_s: The snapshot instants of this chunk, ascending.
         engine: Optional pre-built :class:`RoutingEngine` over ``network``
-            (one is created when omitted).
+            (one is created when omitted; overrides ``routing``).
+        routing: ``"incremental"`` or ``"scratch"`` — see
+            :func:`make_routing_engine`.  Bit-identical results either
+            way; incremental is faster under sparse topology deltas.
 
     Returns:
         pair -> ``(distances_m, paths)`` with ``distances_m`` of shape
@@ -138,8 +169,7 @@ def compute_pair_chunk(network: LeoNetwork,
         of node-id tuples (None while disconnected).
     """
     if engine is None:
-        from ..routing.engine import RoutingEngine
-        engine = RoutingEngine(network)
+        engine = make_routing_engine(network, routing)
     pairs = [(int(src), int(dst)) for src, dst in pairs]
     distances = {pair: np.full(len(times_s), np.inf) for pair in pairs}
     paths: Dict[Tuple[int, int], List[Optional[Tuple[int, ...]]]] = {
@@ -150,13 +180,12 @@ def compute_pair_chunk(network: LeoNetwork,
         multi = engine.route_to_many(snapshot, destinations)
         for pair in pairs:
             src_gid, dst_gid = pair
-            routing = multi.routing_for(dst_gid)
-            path = engine.path_via(routing, snapshot, src_gid)
+            routing_state = multi.routing_for(dst_gid)
+            path, distance = engine.path_and_distance_via(
+                routing_state, snapshot, src_gid)
             if path is None:
                 paths[pair].append(None)
                 continue
-            _, distance = routing.source_ingress(
-                snapshot.gsl_edges[src_gid])
             distances[pair][t_index] = distance
             paths[pair].append(tuple(path))
     return {pair: (distances[pair], paths[pair]) for pair in pairs}
@@ -181,7 +210,8 @@ class DynamicState:
 
     def __init__(self, network: LeoNetwork,
                  pairs: Sequence[Tuple[int, int]],
-                 duration_s: float, step_s: float = 0.1) -> None:
+                 duration_s: float, step_s: float = 0.1,
+                 routing: str = "incremental") -> None:
         if not pairs:
             raise ValueError("need at least one pair to track")
         for src, dst in pairs:
@@ -191,10 +221,8 @@ class DynamicState:
         self.pairs = [(int(s), int(d)) for s, d in pairs]
         self.times_s = snapshot_times(duration_s, step_s)
         self.step_s = step_s
-        # Imported here: repro.routing depends on repro.topology for its
-        # type signatures, so a module-level import would be circular.
-        from ..routing.engine import RoutingEngine
-        self.engine = RoutingEngine(network)
+        self.routing = routing
+        self.engine = make_routing_engine(network, routing)
 
     def compute(self, workers: Optional[int] = None,
                 metrics=None) -> Dict[Tuple[int, int], PairTimeline]:
@@ -225,7 +253,8 @@ class DynamicState:
             from ..sweep import NetworkSpec, sweep_timelines
             return sweep_timelines(
                 NetworkSpec.from_network(self.network), self.pairs,
-                self.times_s, workers=workers, metrics=metrics)
+                self.times_s, workers=workers, metrics=metrics,
+                routing=self.routing, network=self.network)
         started = time.perf_counter()
         chunk = compute_pair_chunk(self.network, self.pairs, self.times_s,
                                    engine=self.engine)

@@ -13,7 +13,9 @@ from repro.ground.weather import RainEvent, WeatherModel
 from repro.routing.engine import RoutingEngine
 from repro.routing.multipath import (
     edge_disjoint_paths,
+    edge_disjoint_paths_many,
     k_shortest_paths,
+    k_shortest_paths_many,
     path_distance_m,
 )
 from repro.topology.isl import plus_grid_isls
@@ -88,6 +90,47 @@ class TestEdgeDisjointPaths:
         snap = small_network.snapshot(0.0)
         with pytest.raises(ValueError):
             edge_disjoint_paths(snap, 0, 1, max_paths=0)
+
+    def test_equal_endpoints_rejected(self, small_network):
+        # Regression: equal endpoints used to return max_paths copies of
+        # the degenerate single-node path [src] with distance 0.
+        snap = small_network.snapshot(0.0)
+        with pytest.raises(ValueError, match="must differ"):
+            edge_disjoint_paths(snap, 2, 2, max_paths=4)
+
+
+class TestBatchedMultipath:
+    PAIRS = [(0, 3), (1, 4), (2, 5), (0, 5)]
+
+    def test_k_shortest_many_matches_per_pair(self, small_network):
+        snap = small_network.snapshot(0.0)
+        batched = k_shortest_paths_many(snap, self.PAIRS, k=3)
+        assert set(batched) == set(self.PAIRS)
+        for pair in self.PAIRS:
+            assert batched[pair] == k_shortest_paths(snap, *pair, k=3)
+
+    def test_edge_disjoint_many_matches_per_pair(self, small_network):
+        snap = small_network.snapshot(0.0)
+        batched = edge_disjoint_paths_many(snap, self.PAIRS, max_paths=3)
+        for pair in self.PAIRS:
+            assert batched[pair] == edge_disjoint_paths(
+                snap, *pair, max_paths=3)
+
+    def test_duplicates_collapse(self, small_network):
+        snap = small_network.snapshot(0.0)
+        batched = k_shortest_paths_many(snap, [(0, 3), (0, 3)], k=2)
+        assert list(batched) == [(0, 3)]
+
+    def test_validation(self, small_network):
+        snap = small_network.snapshot(0.0)
+        with pytest.raises(ValueError, match="must differ"):
+            k_shortest_paths_many(snap, [(0, 3), (1, 1)], k=2)
+        with pytest.raises(ValueError, match="must differ"):
+            edge_disjoint_paths_many(snap, [(4, 4)], max_paths=2)
+        with pytest.raises(ValueError):
+            k_shortest_paths_many(snap, [(0, 3)], k=0)
+        with pytest.raises(ValueError):
+            edge_disjoint_paths_many(snap, [(0, 3)], max_paths=0)
 
 
 class TestWeatherModel:

@@ -451,3 +451,60 @@ class TestSchedulerProperties:
         sched.run()
         assert fired == sorted(fired)
         assert len(fired) == len(delays)
+
+
+class TestSnapshotTimesProperties:
+    """The snapshot grid (paper §3.1): ticks 0, step, 2*step, ... strictly
+    below the duration, robust to float rounding in ``duration / step``.
+
+    Defining property: ``snapshot_times(d, s)`` is exactly the ticks
+    ``k * s`` (evaluated in float64) that compare ``< d`` — the naive
+    ``arange(ceil(d / s)) * s`` can both overshoot (8.2 / 0.1 rounds the
+    quotient up, so the last tick lands at 8.200000000000001 >= d) and
+    the ceil can round a tick short.
+    """
+
+    # (duration, step) -> expected tick count, including the historically
+    # awkward float combinations from the regression reports.
+    NAMED_CASES = [
+        (0.7, 0.1, 7),
+        (8.2, 0.1, 82),
+        (1e4, 0.1, 100_000),
+        (1.0, 0.1, 10),
+        (0.35, 0.1, 4),
+    ]
+
+    def test_named_awkward_combos(self):
+        from repro.topology.dynamic_state import snapshot_times
+        for duration, step, expected in self.NAMED_CASES:
+            times = snapshot_times(duration, step)
+            assert len(times) == expected, (duration, step)
+            assert times[-1] < duration
+
+    @given(st.floats(min_value=1e-2, max_value=1e4),
+           st.floats(min_value=1e-3, max_value=1e2))
+    @settings(max_examples=300, deadline=None)
+    def test_grid_confinement_and_ceil_consistency(self, duration, step):
+        from repro.topology.dynamic_state import snapshot_times
+        assume(duration / step <= 3e5)  # keep the grid test-sized
+        times = snapshot_times(duration, step)
+        # Strictly inside [0, duration), starting at 0, on the exact grid.
+        assert times[0] == 0.0
+        assert np.all(times < duration)
+        assert np.array_equal(times, np.arange(len(times)) * step)
+        # Ceil-consistent count: exactly the k with float64 k*step < d
+        # (the count can differ from ceil(d/s) by the rounding of the
+        # quotient, never by more than one tick), checked scalar-wise
+        # around the boundary.
+        approx = int(np.ceil(duration / step))
+        assert abs(len(times) - approx) <= 1
+        for k in range(max(len(times) - 2, 0), len(times) + 2):
+            inside = np.float64(k) * np.float64(step) < duration
+            assert inside == (k < len(times))
+
+    @given(st.floats(max_value=0.0, allow_nan=False),
+           st.floats(min_value=1e-3, max_value=1e2))
+    def test_nonpositive_duration_rejected(self, duration, step):
+        from repro.topology.dynamic_state import snapshot_times
+        with pytest.raises(ValueError):
+            snapshot_times(duration, step)

@@ -299,6 +299,20 @@ class TestBenchRegression:
         records = [{"speedup": 20.0, "vectorized_solve_s": 0.14}]
         assert choose_metric(records) == "vectorized_solve_s"
 
+    def test_routing_trajectory_gates_on_wall_time(self):
+        # The bench-routing trajectory: the per-snapshot repair wall
+        # time is the headline (regression-gating) metric, not the
+        # noisier scratch/incremental speedup ratio.
+        records = [
+            {"incremental_snapshot_s": 0.010, "speedup": 8.0},
+            {"incremental_snapshot_s": 0.020, "speedup": 9.0},
+        ]
+        assert choose_metric(records) == "incremental_snapshot_s"
+        report = compare_trajectory(
+            "results/BENCH_routing_incremental.json", records)
+        assert report.direction == "lower"
+        assert report.regressed  # 2x the rolling best
+
     def test_choose_metric_explicit_and_fallback(self):
         records = [{"custom_s": 1.0, "other": "text"}]
         assert choose_metric(records, metric="custom_s") == "custom_s"
