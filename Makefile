@@ -6,10 +6,10 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check test smoke bench bench-fig2 bench-obs bench-sweep \
 	bench-faults bench-traffic bench-fluid-scale bench-routing \
-	bench-report clean
+	bench-service bench-report clean
 
 check: test smoke bench-obs bench-sweep bench-faults bench-traffic \
-	bench-fluid-scale bench-routing
+	bench-fluid-scale bench-routing bench-service
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -65,6 +65,13 @@ bench-fluid-scale:
 # results/BENCH_routing_incremental.json.
 bench-routing:
 	$(PYTHON) -m pytest benchmarks/test_routing_incremental.py -q -o testpaths=
+
+# Live-service gate: checkpoint -> restore -> continue must be
+# bit-identical to never stopping (packet + both max-min fluid
+# kernels), and sweep warm-starts must splice bit-identically (serial
+# and workers=4).  Appends results/BENCH_service_restore.json.
+bench-service:
+	$(PYTHON) -m pytest benchmarks/test_service_restore.py -q -o testpaths=
 
 # The scalability benches touched by the batched routing path.
 bench-fig2:

@@ -21,6 +21,11 @@ Usage (installed as ``python -m repro``):
    python -m repro profile K1 Manila Dalian -o trace.json  # Perfetto trace
    python -m repro sweep K1 --workers 4 --profile-out trace.json
    python -m repro bench-report                  # BENCH_*.json regressions
+   python -m repro serve K1 --workload w.json --port 7600 --pace 2
+   python -m repro checkpoint K1 --workload w.json --at 30 -o state.ckpt
+   python -m repro checkpoint --connect 127.0.0.1:7600 -o state.ckpt
+   python -m repro checkpoint --inspect state.ckpt      # header only
+   python -m repro resume state.ckpt -o report.json
 """
 
 from __future__ import annotations
@@ -64,6 +69,34 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics-out", default=None, metavar="JSON",
                         help="dump the run's MetricsRegistry "
                              "(counters/gauges/histograms/series) here")
+
+
+def _add_service_args(parser: argparse.ArgumentParser) -> None:
+    """The scenario arguments ``serve`` and ``checkpoint`` share."""
+    parser.add_argument("shell", nargs="?", default=None,
+                        help="shell name (optional with --connect / "
+                             "--inspect / --resume)")
+    parser.add_argument("--engine", choices=("packet", "fluid"),
+                        default="packet",
+                        help="packet simulator (default) or the max-min "
+                             "fluid engine (AIMD is not checkpointable)")
+    parser.add_argument("--kernel", choices=("vectorized", "reference"),
+                        default="vectorized",
+                        help="max-min allocation kernel (fluid engine only)")
+    parser.add_argument("--cities", type=int, default=100,
+                        help="ground stations (top-N cities)")
+    parser.add_argument("--horizon", type=float, default=60.0,
+                        help="simulated end of the run (seconds)")
+    parser.add_argument("--epoch", type=float, default=1.0,
+                        help="epoch granularity (seconds); also the fluid "
+                             "snapshot step")
+    parser.add_argument("--faults", default=None, metavar="SPEC_JSON",
+                        help="apply a fault schedule "
+                             "(JSON written by 'repro faults')")
+    parser.add_argument("--workload", default=None, metavar="WORKLOAD_JSON",
+                        help="drive the run with a workload schedule "
+                             "(JSON written by 'repro traffic'; required "
+                             "for the fluid engine)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -175,6 +208,54 @@ def build_parser() -> argparse.ArgumentParser:
     bench_report.add_argument("--metric", default=None,
                               help="force the headline metric instead of "
                                    "auto-selecting per trajectory")
+
+    serve = sub.add_parser(
+        "serve", help="run a live, checkpointable simulation behind a "
+                      "JSON-over-TCP command API")
+    _add_service_args(serve)
+    serve.add_argument("--resume", default=None, metavar="CKPT",
+                       help="serve from a checkpoint instead of t=0 "
+                            "(the shell argument is then ignored)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (0 picks a free one and prints it)")
+    serve.add_argument("--pace", type=float, default=0.0,
+                       help="wall-clock pacing factor: advance one epoch "
+                            "every epoch/pace wall seconds (2 = twice "
+                            "real time; 0 = advance only on command)")
+
+    checkpoint = sub.add_parser(
+        "checkpoint", help="capture a simulation checkpoint — offline "
+                           "(build + advance + save), from a live server "
+                           "(--connect), or inspect one (--inspect)")
+    _add_service_args(checkpoint)
+    checkpoint.add_argument("-o", "--output", default=None,
+                            help="write the checkpoint file here")
+    checkpoint.add_argument("--at", type=float, default=0.0,
+                            help="advance to this simulated time before "
+                                 "checkpointing (offline mode)")
+    checkpoint.add_argument("--connect", default=None, metavar="HOST:PORT",
+                            help="checkpoint a running 'repro serve' "
+                                 "instead of building offline")
+    checkpoint.add_argument("--advance", type=int, default=0,
+                            metavar="EPOCHS",
+                            help="with --connect: advance this many epochs "
+                                 "first")
+    checkpoint.add_argument("--inspect", default=None, metavar="CKPT",
+                            help="print an existing checkpoint's JSON "
+                                 "header (no unpickling) and exit")
+
+    resume = sub.add_parser(
+        "resume", help="restore a checkpoint, run it to the horizon, and "
+                       "dump its RunReport")
+    resume.add_argument("checkpoint", help="checkpoint file to restore")
+    resume.add_argument("-o", "--output", default=None,
+                        help="write the full report JSON here")
+    resume.add_argument("--metrics-out", default=None, metavar="JSON",
+                        help="dump the restored run's MetricsRegistry here")
+    resume.add_argument("--checkpoint-out", default=None, metavar="CKPT",
+                        help="re-checkpoint at the horizon (archives the "
+                             "completed run)")
 
     faults = sub.add_parser(
         "faults", help="generate a seeded synthetic fault schedule")
@@ -528,6 +609,103 @@ def _cmd_bench_report(args) -> int:
     return 1 if any(report.regressed for report in reports) else 0
 
 
+def _build_service(args):
+    """Build a LiveSimulationService from serve/checkpoint CLI args."""
+    from .core.hypatia import Hypatia
+    from .service import LiveSimulationService
+    from .sweep.spec import NetworkSpec
+    if args.shell is None:
+        raise KeyError(f"{args.command} needs a shell name (or a "
+                       f"checkpoint via --connect/--inspect/--resume)")
+    faults = _load_faults(args.faults)
+    workload = _load_workload(args.workload)
+    hypatia = Hypatia.from_shell_name(args.shell, num_cities=args.cities,
+                                      faults=faults)
+    spec = NetworkSpec.from_network(hypatia.network)
+    if workload is not None:
+        spec = spec.with_workload(workload)
+    return LiveSimulationService(
+        spec, engine=args.engine, kernel=args.kernel,
+        horizon_s=args.horizon, epoch_s=args.epoch,
+        meta={"shell": args.shell})
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import LiveSimulationService, serve_forever
+    if args.resume is not None:
+        service = LiveSimulationService.resume(args.resume)
+        print(f"resumed {args.resume}: {service.engine} at "
+              f"t={service.clock_s:.1f}s of {service.horizon_s:.1f}s")
+    else:
+        service = _build_service(args)
+
+    def ready(server) -> None:
+        print(f"serving {service.engine} simulation on "
+              f"{server.host}:{server.port} "
+              f"(epoch {service.epoch_s:g}s, pace {args.pace:g})",
+              flush=True)
+
+    try:
+        asyncio.run(serve_forever(service, host=args.host, port=args.port,
+                                  pace=args.pace, ready_callback=ready))
+    except KeyboardInterrupt:
+        pass
+    print(f"stopped at t={service.clock_s:.1f}s")
+    return 0
+
+
+def _cmd_checkpoint(args) -> int:
+    import json
+
+    if args.inspect is not None:
+        from .service import read_checkpoint_header
+        header = read_checkpoint_header(args.inspect)
+        print(json.dumps(header, indent=1, sort_keys=True))
+        return 0
+    if args.output is None:
+        raise KeyError("checkpoint needs -o/--output (or --inspect)")
+    if args.connect is not None:
+        from .service import ServiceClient
+        host, _, port = args.connect.rpartition(":")
+        with ServiceClient(host or "127.0.0.1", int(port)) as client:
+            if args.advance > 0:
+                client.advance(args.advance)
+            header = client.checkpoint(args.output)
+        print(f"checkpointed the live service at t={header['time_s']:.1f}s "
+              f"to {args.output}")
+        return 0
+    service = _build_service(args)
+    if args.at > 0.0:
+        service.advance_to(args.at)
+    header = service.save(args.output)
+    print(f"checkpointed {service.engine} run at "
+          f"t={header['time_s']:.1f}s of {service.horizon_s:.1f}s "
+          f"to {args.output} (spec {header['spec_hash'][:12]})")
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    from .service import LiveSimulationService
+    service = LiveSimulationService.resume(args.checkpoint)
+    print(f"resumed {args.checkpoint}: {service.engine} at "
+          f"t={service.clock_s:.1f}s of {service.horizon_s:.1f}s")
+    service.run_to_horizon()
+    report = service.report()
+    print(report.describe())
+    if args.output:
+        report.to_json(args.output)
+        print(f"wrote report to {args.output}")
+    if args.metrics_out:
+        service.metrics.to_json(args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}")
+    if args.checkpoint_out:
+        service.save(args.checkpoint_out)
+        print(f"wrote horizon checkpoint to {args.checkpoint_out}")
+    return 0
+
+
 def _cmd_faults(args) -> int:
     from .constellations.definitions import shell_by_name
     from .faults import FaultSchedule
@@ -591,6 +769,9 @@ _COMMANDS = {
     "report": _cmd_report,
     "profile": _cmd_profile,
     "bench-report": _cmd_bench_report,
+    "serve": _cmd_serve,
+    "checkpoint": _cmd_checkpoint,
+    "resume": _cmd_resume,
     "faults": _cmd_faults,
     "traffic": _cmd_traffic,
 }
@@ -604,3 +785,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except RuntimeError as error:
+        from .service import CheckpointError, ServiceError
+        from .service.client import ServiceClientError
+        if isinstance(error, (CheckpointError, ServiceError,
+                              ServiceClientError)):
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        raise

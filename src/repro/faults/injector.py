@@ -58,6 +58,27 @@ class LinkFaultInjector:
         """When the first loss window opens (inf when none)."""
         return min(self._window_starts, default=float("inf"))
 
+    def extend(self, events: Sequence[FaultEvent], now_s: float) -> None:
+        """Add loss/corruption events to a *live* injector.
+
+        The RNG stream is untouched — draws already consumed stay
+        consumed — so extending with future windows keeps past packet
+        outcomes exactly as they were, and a run where the events were
+        present from t=0 but inactive until now is indistinguishable.
+        Events whose window already opened are rejected: splicing one in
+        mid-window would make the stream position ambiguous.
+        """
+        fresh = tuple(e for e in events if e.is_stochastic)
+        for event in fresh:
+            if event.start_s < now_s:
+                raise ValueError(
+                    f"cannot inject event starting at {event.start_s} "
+                    f"into live injector {self.name!r} at t={now_s}; "
+                    f"only future windows preserve the draw sequence")
+        from .schedule import _sort_key
+        self.events = tuple(sorted(self.events + fresh, key=_sort_key))
+        self._window_starts = tuple(e.start_s for e in self.events)
+
     def drop_reason(self, now: float) -> Optional[str]:
         """Decide this packet's fate at transmit time.
 

@@ -1,9 +1,9 @@
 """Fluid (flow-level) traffic engine: max-min fair shares over time."""
 
 from .aimd import AimdFluidSimulation
-from .engine import (FluidFlow, FluidResult, FluidSimulation, decode_device,
-                     flatten_path_devices, flow_link_matrix_from_paths,
-                     path_devices)
+from .engine import (FluidFlow, FluidResult, FluidRunState, FluidSimulation,
+                     decode_device, flatten_path_devices,
+                     flow_link_matrix_from_paths, path_devices)
 from .maxmin import max_min_fair_allocation
 from .vectorized import (FlowLinkMatrix, max_min_fair_allocation_vectorized,
                          waterfill)
@@ -13,6 +13,7 @@ __all__ = [
     "FlowLinkMatrix",
     "FluidFlow",
     "FluidResult",
+    "FluidRunState",
     "FluidSimulation",
     "decode_device",
     "flatten_path_devices",

@@ -37,8 +37,8 @@ from ..topology.network import LeoNetwork, TopologySnapshot
 from .maxmin import max_min_fair_allocation
 from .vectorized import FlowLinkMatrix, waterfill
 
-__all__ = ["FluidFlow", "FluidResult", "FluidSimulation", "path_devices",
-           "flatten_path_devices", "decode_device",
+__all__ = ["FluidFlow", "FluidResult", "FluidRunState", "FluidSimulation",
+           "path_devices", "flatten_path_devices", "decode_device",
            "flow_link_matrix_from_paths"]
 
 #: Demand cap for "elastic" flows: far above any single device, so the
@@ -324,6 +324,68 @@ class FluidResult:
         }
 
 
+@dataclass
+class FluidRunState:
+    """Resumable mid-run state of a :class:`FluidSimulation`.
+
+    Everything the snapshot loop carries between steps, in picklable
+    form, so a run can stop at any snapshot boundary, be checkpointed
+    by :mod:`repro.service`, and continue in another process with
+    bit-identical results.  Snapshot boundaries are the natural cut:
+    the sub-event loop (intra-step arrivals/completions) is fully
+    contained within one step, so no sub-event cursor survives a
+    boundary — the residuals, delivered bits and FCTs *are* the cursor.
+
+    Attributes:
+        duration_s: Simulated horizon of the run.
+        step_s: Snapshot granularity.
+        times: (T,) snapshot times of the whole run.
+        next_index: Index into ``times`` of the next unprocessed step;
+            ``next_index == len(times)`` means the run is done.
+        rates: (T, F) allocated rates (rows >= ``next_index`` unset).
+        all_paths / all_loads: Per-processed-snapshot paths and loads.
+        starts / offered_bits / residual_bits / delivered_bits / fct_s:
+            (F,) per-flow workload cursors.
+        demand_caps: (F,) invariant per-flow rate caps.
+        dynamic: Whether the workload has arrivals or finite sizes.
+        solves: Allocations solved so far.
+        frozen_paths: Static-baseline paths (``freeze_topology_at_s``).
+        wall_time_s: Wall-clock seconds accumulated across ``advance``
+            calls (survives checkpoints; perf-only, excluded from
+            parity comparisons).
+    """
+
+    duration_s: float
+    step_s: float
+    times: np.ndarray
+    next_index: int
+    rates: np.ndarray
+    all_paths: List[List[Optional[Tuple[int, ...]]]]
+    all_loads: List[Dict[Hashable, float]]
+    starts: np.ndarray
+    offered_bits: np.ndarray
+    residual_bits: np.ndarray
+    delivered_bits: np.ndarray
+    fct_s: np.ndarray
+    demand_caps: np.ndarray
+    dynamic: bool
+    solves: int
+    frozen_paths: Optional[List[Optional[Tuple[int, ...]]]] = None
+    wall_time_s: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        """Whether every snapshot step has been processed."""
+        return self.next_index >= len(self.times)
+
+    @property
+    def time_s(self) -> float:
+        """Simulated time reached so far (start of the next step)."""
+        if self.done:
+            return self.duration_s
+        return float(self.times[self.next_index])
+
+
 class FluidSimulation:
     """Max-min fluid traffic over the evolving shortest paths.
 
@@ -413,21 +475,25 @@ class FluidSimulation:
         the sub-intervals so flows complete and leave the allocation;
         the recorded per-snapshot rates/loads are always the allocation
         at the snapshot instant.
+
+        Composed of :meth:`start_run` → :meth:`advance` → :meth:`finish`,
+        so an uninterrupted run and a checkpointed-and-resumed one go
+        through the exact same code path (the determinism tests in
+        ``tests/test_service.py`` assert bit-identical results).
         """
-        wall_start = time.perf_counter()
+        state = self.start_run(duration_s, step_s)
+        self.advance(state)
+        return self.finish(state)
+
+    def start_run(self, duration_s: float,
+                  step_s: float = 1.0) -> FluidRunState:
+        """Initialize a resumable run (no steps processed yet)."""
         times = snapshot_times(duration_s, step_s)
         num_flows = len(self.flows)
-        rates = np.zeros((len(times), num_flows))
-        all_paths: List[List[Optional[Tuple[int, ...]]]] = []
-        all_loads: List[Dict[Hashable, float]] = []
-
         starts = np.array([flow.start_s for flow in self.flows])
         offered_bits = np.array([
             flow.size_bytes * 8.0 if flow.size_bytes is not None else np.inf
             for flow in self.flows])
-        residual_bits = offered_bits.copy()
-        delivered_bits = np.zeros(num_flows)
-        fct_s = np.full(num_flows, np.nan)
         dynamic = bool((starts > 0.0).any()
                        or np.isfinite(offered_bits).any())
         # Invariant per-flow rate caps, hoisted out of the sub-event loop
@@ -435,21 +501,52 @@ class FluidSimulation:
         demand_caps = np.minimum(
             np.array([flow.demand_bps for flow in self.flows]),
             _ELASTIC_DEMAND_CAPACITIES * self.link_capacity_bps)
-        solves = 0
 
         frozen_paths: Optional[List[Optional[Tuple[int, ...]]]] = None
         if self.freeze_topology_at_s is not None:
             frozen_snapshot = self.network.snapshot(self.freeze_topology_at_s)
             frozen_paths = self._paths_at(frozen_snapshot)
 
+        return FluidRunState(
+            duration_s=float(duration_s), step_s=float(step_s),
+            times=times, next_index=0,
+            rates=np.zeros((len(times), num_flows)),
+            all_paths=[], all_loads=[],
+            starts=starts, offered_bits=offered_bits,
+            residual_bits=offered_bits.copy(),
+            delivered_bits=np.zeros(num_flows),
+            fct_s=np.full(num_flows, np.nan),
+            demand_caps=demand_caps, dynamic=dynamic, solves=0,
+            frozen_paths=frozen_paths)
+
+    def advance(self, state: FluidRunState,
+                max_steps: Optional[int] = None) -> FluidRunState:
+        """Process up to ``max_steps`` snapshot steps (all remaining by
+        default); returns ``state`` for chaining.
+
+        Each call picks up exactly where the previous one stopped, so
+        ``advance(s, k)`` repeated to exhaustion is bit-identical to one
+        ``advance(s)`` — and a ``state`` pickled between calls resumes
+        identically in another process.
+        """
+        wall_start = time.perf_counter()
+        num_flows = len(self.flows)
+        stop = len(state.times)
+        if max_steps is not None:
+            if max_steps < 0:
+                raise ValueError(f"max_steps must be >= 0, got {max_steps}")
+            stop = min(stop, state.next_index + max_steps)
         faults = getattr(self.network, "fault_view", None)
         step = (self._step_vectorized if self.kernel == "vectorized"
                 else self._step_reference)
         profiler = spans.ACTIVE
         run_span = profiler.begin("fluid.run") if profiler.enabled else -1
-        for t_index, time_s in enumerate(times):
-            time_s = float(time_s)
-            step_end = time_s + step_s
+        residual_bits = state.residual_bits
+        starts = state.starts
+        frozen_paths = state.frozen_paths
+        for t_index in range(state.next_index, stop):
+            time_s = float(state.times[t_index])
+            step_end = time_s + state.step_s
             # Flows that could take capacity somewhere in this step:
             # already or soon started, not yet fully transferred.
             candidates = np.flatnonzero((residual_bits > 0.0)
@@ -466,32 +563,43 @@ class FluidSimulation:
                 paths = self._paths_at(snapshot, candidates)
                 if span != -1:
                     profiler.end(span)
-            solves += step(t_index, time_s, step_end, paths, candidates,
-                           starts, demand_caps, residual_bits,
-                           delivered_bits, fct_s, rates, all_paths,
-                           all_loads, dynamic, faults)
+            state.solves += step(
+                t_index, time_s, step_end, paths, candidates,
+                starts, state.demand_caps, residual_bits,
+                state.delivered_bits, state.fct_s, state.rates,
+                state.all_paths, state.all_loads, state.dynamic, faults)
+            state.next_index = t_index + 1
         if run_span != -1:
             profiler.end(run_span)
+        state.wall_time_s += time.perf_counter() - wall_start
+        return state
 
-        wall = time.perf_counter() - wall_start
-        perf = {"wall_time_s": wall,
-                "snapshots_computed": float(len(times))}
+    def finish(self, state: FluidRunState) -> FluidResult:
+        """Package a fully-advanced run state as a :class:`FluidResult`."""
+        if not state.done:
+            raise RuntimeError(
+                f"run has {len(state.times) - state.next_index} steps left; "
+                f"advance() it to completion before finish()")
+        dynamic = state.dynamic
+        perf = {"wall_time_s": state.wall_time_s,
+                "snapshots_computed": float(len(state.times))}
         if dynamic:
-            perf["allocations_solved"] = float(solves)
-        return FluidResult(times_s=times, flow_rates_bps=rates,
-                           flow_paths=all_paths,
-                           device_load_bps=all_loads,
+            perf["allocations_solved"] = float(state.solves)
+        return FluidResult(times_s=state.times,
+                           flow_rates_bps=state.rates,
+                           flow_paths=state.all_paths,
+                           device_load_bps=state.all_loads,
                            num_satellites=self._num_sats,
                            link_capacity_bps=self.link_capacity_bps,
                            engine=self.ENGINE,
                            kernel=self.kernel,
                            perf=perf,
-                           duration_s=float(duration_s),
-                           flow_offered_bits=(offered_bits if dynamic
+                           duration_s=state.duration_s,
+                           flow_offered_bits=(state.offered_bits if dynamic
                                               else None),
-                           flow_delivered_bits=(delivered_bits if dynamic
-                                                else None),
-                           flow_fct_s=fct_s if dynamic else None)
+                           flow_delivered_bits=(state.delivered_bits
+                                                if dynamic else None),
+                           flow_fct_s=state.fct_s if dynamic else None)
 
     def _step_reference(self, t_index: int, time_s: float, step_end: float,
                         paths: List[Optional[Tuple[int, ...]]],

@@ -1,0 +1,564 @@
+"""The live simulation core: build, advance, mutate, checkpoint.
+
+A :class:`LiveSimulationService` wraps one engine — the packet
+simulator or the max-min fluid engine (either kernel) — built from a
+picklable :class:`~repro.sweep.spec.NetworkSpec`, and exposes the
+operations a long-lived service needs:
+
+* **epoch advancement** — :meth:`advance_epoch` / :meth:`advance_to`
+  move simulated time forward in bounded increments, so a server can
+  pace them against the wall clock and interleave control commands;
+* **live mutation** — :meth:`attach_workload` /
+  :meth:`detach_workload` / :meth:`attach_arrivals` /
+  :meth:`inject_fault` change traffic and faults *between* epochs while
+  the constellation flies;
+* **checkpoint/restore** — :meth:`checkpoint` captures the entire
+  object graph (DES event queue, device/transport state, fluid run
+  state, RNG stream positions) behind a versioned header;
+  :meth:`from_checkpoint` / :meth:`resume` bring it back
+  bit-identically in any process.
+
+Determinism contract (proven by ``tests/test_service.py``): a service
+that is checkpointed at an epoch boundary, restored, and advanced to
+the horizon produces stats, reports, and per-flow FCTs bit-identical
+to one that never stopped.  Mutations keep a weaker but precise
+promise: attaching traffic or injecting faults that only act in the
+*future* yields the same traffic outcomes — packet events, deliveries,
+drops, FCTs, ``traffic.*`` metrics — as having built the service with
+them present from t=0 (only the demand-driven routing *work* counters
+may differ, since mid-run installs compute their destination trees at
+install time instead of inside a scheduled refresh batch).
+
+The engine choice deliberately excludes the AIMD fluid engine: its
+inner loop carries per-step transients that are not exposed in a
+resumable state object, so a checkpoint could not honor the
+bit-identity contract — asking for it raises :class:`ServiceError`
+rather than silently checkpointing something unresumable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..faults.injector import LinkFaultInjector
+from ..faults.schedule import FaultEvent, FaultSchedule
+from ..fluid.engine import (_ELASTIC_DEMAND_CAPACITIES, FluidRunState,
+                            FluidSimulation)
+from ..obs.metrics import MetricsRegistry
+from ..obs.report import RunReport
+from ..simulation.simulator import LinkConfig, PacketSimulator
+from ..sweep.spec import NetworkSpec
+from ..traffic.arrivals import (FlowArrivalProcess, FlowArrivalStream,
+                                FlowRequest, WorkloadSchedule)
+from ..traffic.spawner import WorkloadSpawner
+from ..transport.base import ensure_flow_ids_above
+from .checkpoint import (Checkpoint, CheckpointError, load_checkpoint,
+                         save_checkpoint)
+
+__all__ = ["LiveSimulationService", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A service command could not be applied to the live simulator."""
+
+
+class LiveSimulationService:
+    """One live, checkpointable simulation (see module docstring).
+
+    Args:
+        spec: The network recipe; must be spec-expressible (registered
+            ISL builder) so checkpoints can identify the network.
+        engine: ``"packet"`` or ``"fluid"`` (the max-min engine; AIMD
+            is not checkpointable and is rejected).
+        kernel: Fluid allocation kernel, ``"vectorized"`` or
+            ``"reference"``; ignored by the packet engine.
+        horizon_s: Simulated end of the run.  Required — both engines
+            pre-commit their snapshot/epoch schedule to it.
+        epoch_s: Epoch granularity of :meth:`advance_epoch`; for the
+            fluid engine also the snapshot step.
+        link_capacity_bps: Fluid device capacity.
+        link_config: Packet device rates/queues (paper defaults when
+            omitted).
+        forwarding_interval_s: Packet forwarding refresh period.
+        meta: Free-form JSON-expressible provenance stamped into every
+            checkpoint header.
+    """
+
+    def __init__(self, spec: NetworkSpec, engine: str = "packet",
+                 kernel: str = "vectorized",
+                 horizon_s: float = 60.0,
+                 epoch_s: float = 1.0,
+                 link_capacity_bps: float = 10_000_000.0,
+                 link_config: Optional[LinkConfig] = None,
+                 forwarding_interval_s: float = 0.1,
+                 meta: Optional[Dict[str, Any]] = None) -> None:
+        if engine not in ("packet", "fluid"):
+            raise ServiceError(
+                f"unknown or non-checkpointable engine {engine!r}; the "
+                f"service supports 'packet' and 'fluid' (max-min) — the "
+                f"AIMD fluid engine carries unresumable loop transients")
+        if horizon_s <= 0.0:
+            raise ServiceError(f"horizon must be positive, got {horizon_s}")
+        if epoch_s <= 0.0:
+            raise ServiceError(f"epoch must be positive, got {epoch_s}")
+        self.spec = spec
+        self.engine = engine
+        self.kernel = kernel if engine == "fluid" else ""
+        self.horizon_s = float(horizon_s)
+        self.epoch_s = float(epoch_s)
+        self.meta = dict(meta or {})
+        self.clock_s = 0.0
+        self.metrics = MetricsRegistry()
+        self.network = spec.build()
+        #: attach handle -> workload bookkeeping (engine-specific).
+        self._attached: Dict[int, Dict[str, Any]] = {}
+        self._next_handle = 1
+        self._arrival_streams: List[FlowArrivalStream] = []
+
+        if engine == "packet":
+            self.sim: Optional[PacketSimulator] = PacketSimulator(
+                self.network, link_config=link_config,
+                forwarding_interval_s=forwarding_interval_s)
+            self.fluid: Optional[FluidSimulation] = None
+            self.state: Optional[FluidRunState] = None
+            self._spawners: List[WorkloadSpawner] = []
+            if spec.workload is not None and not spec.workload.is_empty:
+                spawner = WorkloadSpawner(spec.workload,
+                                          metrics=self.metrics)
+                spawner.install(self.sim)
+                self._spawners.append(spawner)
+        else:
+            if spec.workload is None or spec.workload.is_empty:
+                raise ServiceError(
+                    "the fluid service needs traffic: put a workload "
+                    "on the spec (NetworkSpec.with_workload)")
+            self.sim = None
+            self._spawners = []
+            self.fluid = FluidSimulation(
+                self.network, spec.workload.as_fluid_flows(),
+                link_capacity_bps=link_capacity_bps,
+                metrics=self.metrics, kernel=kernel)
+            self.state = self.fluid.start_run(self.horizon_s,
+                                              step_s=self.epoch_s)
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+
+    @property
+    def time_s(self) -> float:
+        """Simulated time the service has advanced to."""
+        return self.clock_s
+
+    @property
+    def done(self) -> bool:
+        """Whether the service reached its horizon."""
+        return self.clock_s >= self.horizon_s
+
+    def advance_to(self, target_s: float) -> Dict[str, Any]:
+        """Advance simulated time to ``min(target_s, horizon_s)``.
+
+        The advance walks epoch boundaries one at a time, draining
+        pending arrival streams into each epoch before it simulates —
+        so one big ``advance_to(horizon)`` is bit-identical to the
+        paced server's epoch-by-epoch advancement (arrival flows are
+        installed at the same simulated instants either way).  Returns
+        the post-advance :meth:`status`.
+        """
+        target_s = min(float(target_s), self.horizon_s)
+        if target_s < self.clock_s:
+            raise ServiceError(
+                f"cannot advance backwards (t={self.clock_s} -> "
+                f"{target_s}); restore an earlier checkpoint instead")
+        while True:
+            completed = int(np.floor(self.clock_s / self.epoch_s + 1e-9))
+            boundary = min(target_s, (completed + 1) * self.epoch_s)
+            self._spawn_arrivals(boundary)
+            if self.engine == "packet":
+                assert self.sim is not None
+                self.sim.run(boundary)
+            else:
+                assert self.fluid is not None and self.state is not None
+                state = self.state
+                while (not state.done
+                       and float(state.times[state.next_index]) < boundary):
+                    self.fluid.advance(state, max_steps=1)
+            self.clock_s = boundary
+            if boundary >= target_s:
+                break
+        return self.status()
+
+    def advance_epoch(self, epochs: int = 1) -> Dict[str, Any]:
+        """Advance ``epochs`` whole epochs (clamped to the horizon)."""
+        if epochs < 1:
+            raise ServiceError(f"epochs must be >= 1, got {epochs}")
+        # Epoch boundaries come from an integer grid, not repeated
+        # float addition, so long-running services never drift.
+        completed = int(round(self.clock_s / self.epoch_s))
+        return self.advance_to((completed + epochs) * self.epoch_s)
+
+    def run_to_horizon(self) -> Dict[str, Any]:
+        """Advance everything that remains."""
+        return self.advance_to(self.horizon_s)
+
+    def _spawn_arrivals(self, until_s: float) -> None:
+        for stream in self._arrival_streams:
+            if stream.taken_until_s >= until_s:
+                continue
+            requests = stream.take_until(until_s)
+            if requests:
+                self._attach_requests(requests)
+
+    # ------------------------------------------------------------------
+    # Live mutation
+    # ------------------------------------------------------------------
+
+    def attach_workload(self, workload: WorkloadSchedule,
+                        shift_to_now: bool = False) -> int:
+        """Add a finite-flow workload to the running simulation.
+
+        Args:
+            workload: The requests; every start must lie at or after
+                the current simulated time (the past already happened).
+            shift_to_now: Shift the whole schedule by the current time
+                first — how a t=0-relative workload is attached live.
+
+        Returns:
+            An attach handle for :meth:`detach_workload`.
+        """
+        if shift_to_now:
+            workload = workload.shifted(self.clock_s)
+        if workload.is_empty:
+            raise ServiceError("cannot attach an empty workload")
+        first = min(r.t_start_s for r in workload.requests)
+        if first < self.clock_s:
+            raise ServiceError(
+                f"workload starts at t={first} but the service is at "
+                f"t={self.clock_s}; shift_to_now=True attaches it "
+                f"relative to now")
+        handle = self._attach_requests(list(workload.requests))
+        # The spec keeps describing the *whole* offered traffic, so a
+        # from-scratch rebuild of the current spec reproduces this run.
+        merged = (workload if self.spec.workload is None
+                  else self.spec.workload.merged(workload))
+        self.spec = self.spec.with_workload(merged)
+        return handle
+
+    def attach_arrivals(self, process: FlowArrivalProcess) -> int:
+        """Attach an open-ended Poisson arrival process.
+
+        Arrivals are drawn epoch by epoch through a
+        :class:`~repro.traffic.arrivals.FlowArrivalStream`, whose RNG
+        stream positions ride inside every checkpoint — restore
+        continues the draw sequence exactly where it stopped.
+        """
+        stream = process.stream()
+        discarded = stream.take_until(self.clock_s)
+        del discarded  # arrivals strictly before "now" never existed
+        self._arrival_streams.append(stream)
+        handle = self._next_handle
+        self._next_handle += 1
+        self._attached[handle] = {"kind": "arrivals", "stream": stream}
+        return handle
+
+    def _attach_requests(self, requests: Sequence[FlowRequest]) -> int:
+        handle = self._next_handle
+        self._next_handle += 1
+        if self.engine == "packet":
+            assert self.sim is not None
+            spawner = WorkloadSpawner(
+                WorkloadSchedule(requests), metrics=self.metrics)
+            spawner.install(self.sim)
+            self._spawners.append(spawner)
+            self._attached[handle] = {"kind": "workload",
+                                      "spawner": spawner}
+        else:
+            start = self._extend_fluid_flows(requests)
+            self._attached[handle] = {"kind": "workload",
+                                      "flows": (start, len(requests))}
+        return handle
+
+    def _extend_fluid_flows(self, requests: Sequence[FlowRequest]) -> int:
+        """Append flows to a live fluid run; returns their start index.
+
+        Every per-flow array in the run state grows by the new flows;
+        history rows gain ``None`` paths and zero rates, which is
+        exactly what a from-t=0 run records for flows that have not
+        arrived yet — the attach-equivalence test rests on this.
+        """
+        assert self.fluid is not None and self.state is not None
+        fluid, state = self.fluid, self.state
+        if fluid.freeze_topology_at_s is not None:
+            raise ServiceError(
+                "cannot attach flows to a frozen-topology baseline run")
+        schedule = WorkloadSchedule(requests)
+        new_flows = schedule.as_fluid_flows()
+        start = len(fluid.flows)
+        fluid.flows.extend(new_flows)
+        fluid._flow_pairs.extend(
+            (flow.src_gid, flow.dst_gid) for flow in new_flows)
+        count = len(new_flows)
+        new_starts = np.array([flow.start_s for flow in new_flows])
+        new_offered = np.array([flow.size_bytes * 8.0 for flow in new_flows])
+        state.starts = np.concatenate([state.starts, new_starts])
+        state.offered_bits = np.concatenate([state.offered_bits,
+                                             new_offered])
+        state.residual_bits = np.concatenate([state.residual_bits,
+                                              new_offered.copy()])
+        state.delivered_bits = np.concatenate([state.delivered_bits,
+                                               np.zeros(count)])
+        state.fct_s = np.concatenate([state.fct_s,
+                                      np.full(count, np.nan)])
+        new_caps = np.minimum(
+            np.array([flow.demand_bps for flow in new_flows]),
+            _ELASTIC_DEMAND_CAPACITIES * fluid.link_capacity_bps)
+        state.demand_caps = np.concatenate([state.demand_caps, new_caps])
+        state.rates = np.hstack(
+            [state.rates, np.zeros((len(state.times), count))])
+        for row in state.all_paths:
+            row.extend([None] * count)
+        state.dynamic = True
+        return start
+
+    def detach_workload(self, handle: int) -> Dict[str, Any]:
+        """Stop a previously attached workload offering new traffic.
+
+        Flow transfers already in progress drain normally (like
+        in-flight packets on a closing connection); what detaching
+        cancels is the *future* — unstarted flows, and further arrivals
+        of an arrival-process attachment.
+        """
+        info = self._attached.pop(handle, None)
+        if info is None:
+            raise ServiceError(f"unknown workload handle {handle}")
+        now = self.clock_s
+        if info["kind"] == "arrivals":
+            self._arrival_streams.remove(info["stream"])
+            return {"handle": handle, "cancelled": "arrival stream"}
+        if self.engine == "packet":
+            spawner = info["spawner"]
+            cancelled = 0
+            for app in spawner.flows:
+                if getattr(app, "completed_at_s", None) is None:
+                    app.stop_s = min(getattr(app, "stop_s", np.inf), now)
+                    cancelled += 1
+            return {"handle": handle, "cancelled": cancelled}
+        assert self.state is not None
+        start, count = info["flows"]
+        state = self.state
+        indices = np.arange(start, start + count)
+        future = indices[state.starts[indices] > now]
+        state.residual_bits[future] = 0.0
+        return {"handle": handle, "cancelled": int(len(future))}
+
+    def inject_fault(self, events: Union[FaultEvent,
+                                         Sequence[FaultEvent]]) -> int:
+        """Inject fault events into the flying constellation.
+
+        Every event window must open at or after the current simulated
+        time; with that restriction the injection is bit-identical to a
+        run where the events were scheduled from t=0 (routing sees them
+        through the fault view at snapshot time, and live packet-loss
+        injectors extend without touching their RNG stream positions).
+
+        Returns the number of events injected.
+        """
+        if isinstance(events, FaultEvent):
+            events = [events]
+        events = list(events)
+        if not events:
+            raise ServiceError("no fault events given")
+        now = self.clock_s
+        for event in events:
+            if event.start_s < now:
+                raise ServiceError(
+                    f"fault event starting at t={event.start_s} is in "
+                    f"the past (service is at t={now}); only future "
+                    f"windows inject deterministically")
+        existing = self.network.faults
+        seed = existing.seed if existing is not None else 0
+        addition = FaultSchedule(events, seed=seed)
+        merged = (addition if existing is None
+                  else existing.merged(addition))
+        self.network.set_faults(merged)
+        self.spec = replace(self.spec, faults=merged)
+        if self.engine == "packet":
+            self._extend_packet_injectors(events, merged, now)
+        return len(events)
+
+    def _extend_packet_injectors(self, events: Sequence[FaultEvent],
+                                 merged: FaultSchedule,
+                                 now: float) -> None:
+        """Wire new stochastic loss/corruption events into live devices."""
+        assert self.sim is not None
+        sim = self.sim
+        sim._faults = merged if len(merged) else None
+        for event in events:
+            if not event.is_stochastic:
+                continue
+            devices = []
+            if event.isl is not None:
+                a, b = event.isl
+                for key in ((a, b), (b, a)):
+                    try:
+                        devices.append(sim.isl_device(*key))
+                    except KeyError:
+                        pass
+            elif event.gid is not None:
+                devices.append(
+                    sim.gsl_device(self.network.num_satellites + event.gid))
+            for device in devices:
+                injector = device._fault_injector
+                if injector is None:
+                    injector = LinkFaultInjector(device.name, [event],
+                                                 seed=merged.seed)
+                    device._fault_injector = injector
+                else:
+                    injector.extend([event], now)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        """A compact JSON-expressible view of the service state."""
+        status: Dict[str, Any] = {
+            "engine": self.engine,
+            "kernel": self.kernel,
+            "time_s": self.clock_s,
+            "horizon_s": self.horizon_s,
+            "epoch_s": self.epoch_s,
+            "done": self.done,
+            "attached": len(self._attached),
+            "arrival_streams": len(self._arrival_streams),
+        }
+        if self.engine == "packet":
+            assert self.sim is not None
+            status["events_processed"] = self.sim.scheduler.events_processed
+            status["flows"] = sum(len(s.flows) for s in self._spawners)
+            status["flows_completed"] = sum(
+                s.completed for s in self._spawners)
+        else:
+            assert self.state is not None
+            status["flows"] = len(self.state.starts)
+            status["snapshots_done"] = self.state.next_index
+            status["snapshots_total"] = len(self.state.times)
+            status["allocations_solved"] = self.state.solves
+        return status
+
+    def metrics_dict(self, include_series: bool = True) -> Dict[str, Any]:
+        """The live metrics registry contents (``repro.obs`` form)."""
+        return self.metrics.as_dict(include_series=include_series)
+
+    def report(self) -> RunReport:
+        """The unified run report of the simulation so far.
+
+        The packet engine reports at any epoch boundary; the fluid
+        engines report once the horizon is reached (a fluid
+        :class:`~repro.fluid.engine.FluidResult` is only defined over
+        the full committed snapshot schedule).
+        """
+        if self.engine == "packet":
+            assert self.sim is not None
+            report = self.sim.report(self.clock_s, registry=self.metrics)
+            if self._spawners:
+                report.extras["fct"] = self._combined_fct_extras()
+            return report
+        assert self.fluid is not None and self.state is not None
+        if not self.state.done:
+            raise ServiceError(
+                f"fluid report needs the horizon: at t={self.clock_s} "
+                f"of {self.horizon_s}; advance first (or checkpoint and "
+                f"resume later)")
+        result = self.fluid.finish(self.state)
+        return result.report(registry=self.metrics)
+
+    def _combined_fct_extras(self) -> Dict[str, Any]:
+        """One ``fct`` extras section over every installed spawner.
+
+        The histogram is the registry's own ``traffic.fct_s`` — every
+        spawner observes into it in completion order, so its float
+        accumulation is identical no matter how the same flows were
+        split across spawners (one baked-in schedule vs several live
+        attachments).
+        """
+        from ..obs.report import FCT_BUCKETS
+        histogram = self.metrics.histogram("traffic.fct_s",
+                                           buckets=FCT_BUCKETS)
+        finite = completed = 0
+        offered = delivered = 0.0
+        for spawner in self._spawners:
+            finite += spawner.schedule.num_flows
+            completed += spawner.completed
+            offered += spawner.schedule.offered_bits
+            delivered += float(spawner._delivered_bytes) * 8.0
+        return {"histogram": histogram.as_dict(), "flows_finite": finite,
+                "flows_completed": completed, "offered_bits": offered,
+                "delivered_bits": delivered}
+
+    def fct_values(self) -> np.ndarray:
+        """Per-flow completion times recorded so far (seconds)."""
+        if self.engine == "packet":
+            values: List[float] = []
+            for spawner in self._spawners:
+                values.extend(spawner.fcts_s)
+            return np.asarray(values)
+        assert self.state is not None
+        return self.state.fct_s[np.isfinite(self.state.fct_s)]
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, meta: Optional[Dict[str, Any]] = None
+                   ) -> Checkpoint:
+        """Capture the whole live state as a versioned checkpoint.
+
+        The payload is this service object itself — one pickle
+        memoizes the shared references (scheduler queue entries, device
+        graphs, RNG streams, run state), so restore reconstructs the
+        identical object graph.
+        """
+        merged_meta = dict(self.meta)
+        if meta:
+            merged_meta.update(meta)
+        merged_meta.setdefault("horizon_s", self.horizon_s)
+        merged_meta.setdefault("epoch_s", self.epoch_s)
+        return Checkpoint(spec=self.spec, engine=self.engine,
+                          time_s=self.clock_s,
+                          payload={"service": self},
+                          kernel=self.kernel, meta=merged_meta)
+
+    def save(self, path: str,
+             meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Checkpoint to a file; returns the stamped header."""
+        return save_checkpoint(path, self.checkpoint(meta=meta))
+
+    @classmethod
+    def from_checkpoint(cls, checkpoint: Checkpoint
+                        ) -> "LiveSimulationService":
+        """Rehydrate the live service a checkpoint captured."""
+        service = checkpoint.payload.get("service")
+        if not isinstance(service, cls):
+            raise CheckpointError(
+                f"checkpoint payload holds "
+                f"{type(service).__name__!r}, not a live service "
+                f"(was it written by LiveSimulationService.save?)")
+        if service.engine == "packet" and service.sim is not None:
+            # The flow-id allocator restarted with this process; push it
+            # past every restored flow so post-restore attachments are
+            # collision-free.
+            restored = [flow for _, flow in service.sim._handlers]
+            ensure_flow_ids_above(max(restored, default=0))
+        return service
+
+    @classmethod
+    def resume(cls, path: str,
+               expected_spec: Optional[NetworkSpec] = None
+               ) -> "LiveSimulationService":
+        """Load a checkpoint file and rehydrate its service."""
+        return cls.from_checkpoint(
+            load_checkpoint(path, expected_spec=expected_spec))

@@ -20,6 +20,7 @@ visibly perturbs TCP (Fig. 19(b)).
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import Callable, Deque, Optional, Tuple
 
 from ..obs.trace import (NULL_TRACER, PKT_DROP, PKT_ENQUEUE, PKT_TX_FINISH,
@@ -235,8 +236,10 @@ class LinkDevice:
             tracer.emit(self._scheduler.now, PKT_TX_START, node=self.node_id,
                         flow=packet.flow_id, link=self.name, seq=packet.seq,
                         value=tx_time)
+        # partial of a bound method, not a lambda: pending events must
+        # survive checkpoint pickling (repro.service).
         self._scheduler.schedule(
-            tx_time, lambda: self._finish_transmission(packet, to_node))
+            tx_time, partial(self._finish_transmission, packet, to_node))
 
     def _finish_transmission(self, packet: Packet, to_node: int) -> None:
         now = self._scheduler.now
@@ -253,9 +256,8 @@ class LinkDevice:
         # leaves the transmitter (paper: "latencies are correctly calculated
         # based on satellite motion").
         propagation = self._positions.delay_s(self.node_id, to_node, now)
-        deliver = self._deliver
         self._scheduler.schedule(propagation,
-                                 lambda: deliver(packet, to_node))
+                                 partial(self._deliver, packet, to_node))
         if self._queue:
             next_packet, next_to = self._queue.popleft()
             self._start_transmission(next_packet, next_to)

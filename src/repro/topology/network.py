@@ -243,6 +243,36 @@ class LeoNetwork:
         can ever be active."""
         return self._fault_view
 
+    def set_faults(self, faults: Optional["FaultSchedule"]) -> None:
+        """Replace the explicit fault schedule on a live network.
+
+        Rebuilds the combined fault view (explicit + weather) and drops
+        the ISL-mask memo, so the next snapshot evaluates the new
+        schedule; :class:`repro.service.LiveSimulationService` uses this
+        to inject faults while the constellation flies.  Event bounds
+        are validated like at construction.
+        """
+        if faults is not None:
+            for event in faults:
+                if event.satellite is not None and not \
+                        0 <= event.satellite < self.constellation.num_satellites:
+                    raise ValueError(
+                        f"fault satellite {event.satellite} out of range")
+                if event.gid is not None and not \
+                        0 <= event.gid < len(self.ground_stations):
+                    raise ValueError(f"fault gid {event.gid} out of range")
+        self.faults = faults
+        combined = faults
+        if self.weather is not None and self.weather.num_events:
+            from ..faults.schedule import FaultSchedule
+            rain = FaultSchedule.from_weather(self.weather)
+            combined = rain if combined is None else combined.merged(rain)
+        self._fault_view = \
+            combined if combined is not None and not combined.is_empty \
+            else None
+        self._isl_mask_key = None
+        self._isl_mask_pairs = None
+
     @property
     def num_satellites(self) -> int:
         return self.constellation.num_satellites

@@ -36,7 +36,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from .matrix import TrafficMatrix
 
 __all__ = ["FlowRequest", "WorkloadSchedule", "FlowArrivalProcess",
-           "SIZE_DISTRIBUTIONS"]
+           "FlowArrivalStream", "SIZE_DISTRIBUTIONS"]
 
 #: Supported flow-size distributions.
 SIZE_DISTRIBUTIONS = ("exponential", "lognormal", "pareto")
@@ -160,6 +160,19 @@ class WorkloadSchedule:
         """Union of two schedules (keeps this schedule's seed)."""
         return WorkloadSchedule(self.requests + other.requests,
                                 seed=self.seed)
+
+    def shifted(self, dt_s: float) -> "WorkloadSchedule":
+        """The same requests, every start time moved by ``dt_s``.
+
+        How a workload authored relative to t=0 is attached to a live
+        service mid-flight: shift it to the service's current epoch
+        boundary so no request starts in the simulated past.
+        """
+        return WorkloadSchedule(
+            [FlowRequest(t_start_s=r.t_start_s + dt_s, src_gid=r.src_gid,
+                         dst_gid=r.dst_gid, size_bytes=r.size_bytes)
+             for r in self.requests],
+            seed=self.seed)
 
     def arrivals_in(self, start_s: float, end_s: float
                     ) -> List[FlowRequest]:
@@ -297,3 +310,62 @@ class FlowArrivalProcess:
                     size_bytes=self._draw_size_bytes(rng)))
                 t += rng.expovariate(rate)
         return WorkloadSchedule(requests, seed=self.seed)
+
+    def stream(self) -> "FlowArrivalStream":
+        """An incremental (and picklable) view of the same arrivals."""
+        return FlowArrivalStream(self)
+
+
+class FlowArrivalStream:
+    """Incremental arrival generation with checkpointable RNG streams.
+
+    Where :meth:`FlowArrivalProcess.generate` materializes a whole
+    horizon up front, a stream hands out arrivals epoch by epoch —
+    :meth:`take_until` returns exactly the requests in
+    ``[taken-so-far, end_s)`` — while keeping every pair's
+    :class:`random.Random` at its live position.  The object pickles
+    whole (``random.Random`` preserves its Mersenne-Twister state), so
+    a service checkpoint taken mid-stream resumes without rewinding or
+    skipping a single draw.
+
+    Determinism contract: for any split points ``0 < t1 < t2 < ...``,
+    concatenating ``take_until(t1), take_until(t2), ...`` reproduces
+    ``process.generate(tN)``'s request list exactly — the per-pair draw
+    order (inter-arrival gap, size, gap, size, ...) is identical, only
+    the batching differs.  ``tests/test_service.py`` asserts this,
+    including through a mid-stream pickle round trip.
+    """
+
+    def __init__(self, process: FlowArrivalProcess) -> None:
+        self.process = process
+        self.taken_until_s = 0.0
+        #: Per-pair live cursor: (src, dst) -> [rng, next_arrival_s].
+        self._pairs: Dict[Tuple[int, int], List[Any]] = {}
+        for src, dst in process.matrix.pairs():
+            rate = process.pair_arrival_rate(src, dst)
+            if rate <= 0.0:
+                continue
+            rng = random.Random(f"{process.seed}:{src}:{dst}")
+            self._pairs[(src, dst)] = [rng, rng.expovariate(rate)]
+
+    def take_until(self, end_s: float) -> List[FlowRequest]:
+        """Arrivals in ``[taken_until_s, end_s)``, schedule-sorted.
+
+        Advancing is one-way: ``end_s`` at or before the last call's
+        horizon yields no requests (nothing is ever re-drawn).
+        """
+        if not math.isfinite(end_s):
+            raise ValueError(f"horizon must be finite, got {end_s}")
+        requests: List[FlowRequest] = []
+        process = self.process
+        for (src, dst), cursor in self._pairs.items():
+            rate = process.pair_arrival_rate(src, dst)
+            rng, t = cursor
+            while t < end_s:
+                requests.append(FlowRequest(
+                    t_start_s=t, src_gid=src, dst_gid=dst,
+                    size_bytes=process._draw_size_bytes(rng)))
+                t += rng.expovariate(rate)
+            cursor[1] = t
+        self.taken_until_s = max(self.taken_until_s, end_s)
+        return sorted(requests, key=_sort_key)

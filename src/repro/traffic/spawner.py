@@ -16,6 +16,7 @@ at every arrival and completion — which flow into the packet run's
 from __future__ import annotations
 
 import math
+from functools import partial
 from typing import Any, Callable, Dict, List, Optional
 
 from ..obs.metrics import MetricsRegistry
@@ -96,43 +97,58 @@ class WorkloadSpawner:
             registry.counter("traffic.delivered_bytes")
             registry.series("traffic.active_flows")
         for request in self.schedule:
-            app = self._factory(request).install(sim)
-            app.on_complete = self._completion_hook(request)  # type: ignore
-            self.flows.append(app)
-            sim.scheduler.schedule_at(request.t_start_s,
-                                      self._make_on_start())
+            self._install_request(sim, request)
         return self
 
-    def _make_on_start(self) -> Callable[[], None]:
-        def on_start() -> None:
-            assert self.sim is not None
-            self.started += 1
-            self._active += 1
-            registry = self.metrics
-            if registry is not None:
-                registry.counter("traffic.flows_started").inc()
-                registry.series("traffic.active_flows").append(
-                    self.sim.now, float(self._active))
-        return on_start
+    def _install_request(self, sim: PacketSimulator,
+                         request: FlowRequest) -> None:
+        """Install one request's transfer and its start/complete hooks.
 
-    def _completion_hook(self, request: FlowRequest
-                         ) -> Callable[[float], None]:
-        def on_complete(now_s: float) -> None:
-            fct = now_s - request.t_start_s
-            self.completed += 1
-            self._active -= 1
-            self._delivered_bytes += float(request.size_bytes)
-            self.fcts_s.append(fct)
-            registry = self.metrics
-            if registry is not None:
-                registry.counter("traffic.flows_completed").inc()
-                registry.counter("traffic.delivered_bytes").inc(
-                    float(request.size_bytes))
-                registry.histogram("traffic.fct_s",
-                                   buckets=FCT_BUCKETS).observe(fct)
-                registry.series("traffic.active_flows").append(
-                    now_s, float(self._active))
-        return on_complete
+        Both hooks are ``partial``s of bound methods rather than
+        closures, so an installed spawner — including its pending start
+        events on the scheduler — pickles into a service checkpoint.
+        """
+        app = self._factory(request).install(sim)
+        app.on_complete = partial(self._on_flow_complete,  # type: ignore
+                                  request)
+        self.flows.append(app)
+        sim.scheduler.schedule_at(request.t_start_s, self._on_flow_started)
+
+    def _on_flow_started(self) -> None:
+        assert self.sim is not None
+        self.started += 1
+        self._active += 1
+        registry = self.metrics
+        if registry is not None:
+            registry.counter("traffic.flows_started").inc()
+            self._sample_active(self.sim.now, +1.0)
+
+    def _on_flow_complete(self, request: FlowRequest, now_s: float) -> None:
+        fct = now_s - request.t_start_s
+        self.completed += 1
+        self._active -= 1
+        self._delivered_bytes += float(request.size_bytes)
+        self.fcts_s.append(fct)
+        registry = self.metrics
+        if registry is not None:
+            registry.counter("traffic.flows_completed").inc()
+            registry.counter("traffic.delivered_bytes").inc(
+                float(request.size_bytes))
+            registry.histogram("traffic.fct_s",
+                               buckets=FCT_BUCKETS).observe(fct)
+            self._sample_active(now_s, -1.0)
+
+    def _sample_active(self, now_s: float, delta: float) -> None:
+        """Append the registry-global active-flow count to the series.
+
+        The count continues from the series' last sample rather than
+        this spawner's own ``_active``, so several spawners sharing one
+        registry (a live service attaching workloads over time) record
+        the same global series a single merged schedule would.
+        """
+        series = self.metrics.series("traffic.active_flows")
+        last = series.values[-1] if series.values else 0.0
+        series.append(now_s, last + delta)
 
     # ------------------------------------------------------------------
 

@@ -16,7 +16,8 @@ from ..obs.metrics import TimeSeriesLog
 from ..obs.trace import NULL_TRACER, Tracer
 from ..simulation.simulator import PacketSimulator
 
-__all__ = ["Application", "allocate_flow_id", "TimeSeriesLog"]
+__all__ = ["Application", "allocate_flow_id", "ensure_flow_ids_above",
+           "TimeSeriesLog"]
 
 _flow_ids = itertools.count(1)
 
@@ -24,6 +25,19 @@ _flow_ids = itertools.count(1)
 def allocate_flow_id() -> int:
     """A process-wide unique flow id."""
     return next(_flow_ids)
+
+
+def ensure_flow_ids_above(min_id: int) -> None:
+    """Advance the allocator past ``min_id`` if it is not already.
+
+    Restoring a checkpoint brings applications with already-allocated
+    flow ids into a fresh process whose counter restarted at 1; the
+    service calls this so workloads attached *after* the restore cannot
+    collide with restored flows' handler registrations.
+    """
+    global _flow_ids
+    probe = next(_flow_ids)
+    _flow_ids = itertools.count(max(probe, min_id + 1))
 
 
 class Application:

@@ -25,6 +25,7 @@ paper's plots are scaled ("# of packets").
 from __future__ import annotations
 
 import math
+from functools import partial
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
@@ -376,7 +377,7 @@ class TcpNewRenoFlow(Application):
         assert self.sim is not None
         self._timer_armed = True
         epoch = self._timer_epoch
-        self.sim.scheduler.schedule(self.rto, lambda: self._on_rto(epoch))
+        self.sim.scheduler.schedule(self.rto, partial(self._on_rto, epoch))
 
     def _on_rto(self, epoch: int) -> None:
         if epoch != self._timer_epoch:
@@ -474,7 +475,7 @@ class TcpNewRenoFlow(Application):
         self._delack_armed = True
         epoch = self._delack_epoch
         self.sim.scheduler.schedule(
-            0.2, lambda: self._on_delack_timer(epoch, data_packet))
+            0.2, partial(self._on_delack_timer, epoch, data_packet))
 
     def _on_delack_timer(self, epoch: int, data_packet: Packet) -> None:
         if epoch != self._delack_epoch:

@@ -1,0 +1,586 @@
+"""The live-service determinism contract (`repro.service`).
+
+The backbone guarantee: a simulation checkpointed at an epoch boundary,
+restored (in this or any process), and advanced to the horizon produces
+stats, reports, and per-flow FCT arrays bit-identical to one that never
+stopped — across the packet engine and both max-min fluid kernels.
+Plus the compatibility guards (format version, spec hash), RNG stream
+survival through mid-fault-window checkpoints, sweep warm-starts, live
+mutation equivalence, and the JSON-over-TCP server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pickle
+import random
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constellations.builder import Constellation
+from repro.faults import FaultEvent, FaultSchedule
+from repro.faults.injector import LinkFaultInjector
+from repro.fluid.engine import FluidSimulation
+from repro.geo.coordinates import GeodeticPosition
+from repro.ground.stations import GroundStation
+from repro.orbits.shell import Shell
+from repro.service import (CHECKPOINT_FORMAT_VERSION, Checkpoint,
+                           CheckpointError, CheckpointSpecError,
+                           CheckpointVersionError, LiveSimulationService,
+                           ServiceClient, ServiceClientError, ServiceError,
+                           ServiceServer, load_checkpoint,
+                           read_checkpoint_header, resume_sweep,
+                           save_checkpoint, spec_fingerprint,
+                           sweep_with_checkpoint)
+from repro.sweep.engine import sweep_timelines
+from repro.sweep.spec import NetworkSpec
+from repro.topology.network import LeoNetwork
+from repro.traffic import (FlowArrivalProcess, FlowRequest, TrafficMatrix,
+                           WorkloadSchedule)
+
+pytestmark = pytest.mark.service
+
+HORIZON_S = 12.0
+EPOCH_S = 1.0
+
+_SITES = [
+    ("Quito", 0.0, -78.5),
+    ("Nairobi", -1.3, 36.8),
+    ("Singapore", 1.35, 103.8),
+    ("Honolulu", 21.3, -157.9),
+    ("Sydney", -33.9, 151.2),
+    ("Madrid", 40.4, -3.7),
+]
+
+
+def _small_spec(faults=None) -> NetworkSpec:
+    """An 8x8 +Grid shell with six ground stations, as a spec."""
+    shell = Shell(name="X1", num_orbits=8, satellites_per_orbit=8,
+                  altitude_m=600_000.0, inclination_deg=53.0)
+    stations = [
+        GroundStation(gid=i, name=name,
+                      position=GeodeticPosition(lat, lon, 0.0))
+        for i, (name, lat, lon) in enumerate(_SITES)
+    ]
+    network = LeoNetwork(Constellation([shell]), stations,
+                         min_elevation_deg=10.0, faults=faults)
+    return NetworkSpec.from_network(network)
+
+
+def _small_workload(seed: int = 11, start_s: float = 0.0,
+                    horizon_s: float = HORIZON_S) -> WorkloadSchedule:
+    """~24 finite flows spread over most of the horizon."""
+    rng = random.Random(seed)
+    requests = []
+    for _ in range(24):
+        src, dst = rng.sample(range(len(_SITES)), 2)
+        requests.append(FlowRequest(
+            t_start_s=start_s + rng.uniform(0.0, horizon_s * 0.7),
+            src_gid=src, dst_gid=dst,
+            size_bytes=rng.randint(20_000, 120_000)))
+    return WorkloadSchedule(requests, seed=seed)
+
+
+def _make_service(engine: str, kernel: str = "vectorized",
+                  faults=None, workload=None) -> LiveSimulationService:
+    spec = _small_spec(faults=faults)
+    spec = spec.with_workload(_small_workload()
+                              if workload is None else workload)
+    return LiveSimulationService(spec, engine=engine, kernel=kernel,
+                                 horizon_s=HORIZON_S, epoch_s=EPOCH_S)
+
+
+def _report_json(service: LiveSimulationService) -> str:
+    """The canonical parity form: the deterministic report, serialized."""
+    return json.dumps(service.report().as_dict(deterministic=True),
+                      sort_keys=True)
+
+
+#: Demand-driven routing *work* accounting.  Mid-run installs compute
+#: their destination trees at install time instead of inside a refresh
+#: batch, so live-mutation equivalence is stated over everything else
+#: (outcomes stay bit-identical; see the driver's module docstring).
+_ROUTING_WORK_KEYS = frozenset([
+    "trees_computed", "dijkstra_calls", "transit_builds",
+    "transit_cache_hits", "csr_rebuilds_avoided",
+])
+
+
+def _outcome_json(service: LiveSimulationService) -> str:
+    """`_report_json` minus the routing-work counters."""
+    payload = service.report().as_dict(deterministic=True)
+    summary = payload.get("summary")
+    if isinstance(summary, dict):
+        for key in _ROUTING_WORK_KEYS:
+            summary.pop(key, None)
+    return json.dumps(payload, sort_keys=True)
+
+
+def _round_trip(service: LiveSimulationService, path) -> LiveSimulationService:
+    service.save(str(path))
+    return LiveSimulationService.resume(str(path))
+
+
+ENGINES = [("packet", "vectorized"), ("fluid", "reference"),
+           ("fluid", "vectorized")]
+
+
+# ----------------------------------------------------------------------
+# Checkpoint container + compatibility guards
+# ----------------------------------------------------------------------
+
+class TestCheckpointContainer:
+    def test_header_round_trip(self, tmp_path):
+        spec = _small_spec()
+        path = tmp_path / "c.ckpt"
+        ckpt = Checkpoint(spec=spec, engine="packet", time_s=3.5,
+                          payload={"x": np.arange(4)},
+                          meta={"note": "hello"})
+        header = save_checkpoint(str(path), ckpt)
+        assert header["format_version"] == CHECKPOINT_FORMAT_VERSION
+        assert header["spec_hash"] == spec_fingerprint(spec)
+        assert header["time_s"] == 3.5
+        assert header["meta"] == {"note": "hello"}
+        # Header reads back without unpickling anything.
+        assert read_checkpoint_header(str(path)) == header
+        loaded = load_checkpoint(str(path))
+        assert loaded.engine == "packet"
+        assert np.array_equal(loaded.payload["x"], np.arange(4))
+        assert spec_fingerprint(loaded.spec) == spec_fingerprint(spec)
+
+    def test_rejects_non_checkpoint_file(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"definitely not a checkpoint")
+        with pytest.raises(CheckpointError, match="bad magic"):
+            read_checkpoint_header(str(path))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_version_mismatch_fails_clearly(self, tmp_path):
+        path = tmp_path / "future.ckpt"
+        ckpt = Checkpoint(spec=_small_spec(), engine="packet", time_s=0.0,
+                          payload={},
+                          format_version=CHECKPOINT_FORMAT_VERSION + 1)
+        save_checkpoint(str(path), ckpt)
+        with pytest.raises(CheckpointVersionError,
+                           match="does not match this build"):
+            load_checkpoint(str(path))
+        # The header itself stays readable for forensics.
+        header = read_checkpoint_header(str(path))
+        assert header["format_version"] == CHECKPOINT_FORMAT_VERSION + 1
+
+    def test_spec_mismatch_fails_clearly(self, tmp_path):
+        path = tmp_path / "spec.ckpt"
+        spec = _small_spec()
+        save_checkpoint(str(path), Checkpoint(
+            spec=spec, engine="packet", time_s=0.0, payload={}))
+        other = spec.with_workload(_small_workload(seed=99))
+        with pytest.raises(CheckpointSpecError,
+                           match="different network spec"):
+            load_checkpoint(str(path), expected_spec=other)
+        # The matching spec passes the same gate.
+        load_checkpoint(str(path), expected_spec=spec)
+
+    def test_spec_fingerprint_is_content_hash(self):
+        assert spec_fingerprint(_small_spec()) == \
+            spec_fingerprint(_small_spec())
+        with_faults = _small_spec(faults=FaultSchedule(
+            [FaultEvent.satellite_outage(3, 2.0, 5.0)], seed=1))
+        assert spec_fingerprint(with_faults) != \
+            spec_fingerprint(_small_spec())
+
+
+# ----------------------------------------------------------------------
+# Checkpoint -> restore -> continue is bit-identical
+# ----------------------------------------------------------------------
+
+class TestRoundTripDeterminism:
+    @pytest.mark.parametrize("engine,kernel", ENGINES)
+    def test_epoch_boundary_round_trip(self, engine, kernel, tmp_path):
+        baseline = _make_service(engine, kernel)
+        baseline.run_to_horizon()
+
+        interrupted = _make_service(engine, kernel)
+        interrupted.advance_epoch(5)
+        restored = _round_trip(interrupted, tmp_path / "mid.ckpt")
+        assert restored.clock_s == 5.0
+        restored.run_to_horizon()
+
+        assert _report_json(restored) == _report_json(baseline)
+        assert np.array_equal(restored.fct_values(),
+                              baseline.fct_values(), equal_nan=True)
+
+    def test_double_restore_same_file(self, tmp_path):
+        """One checkpoint file seeds any number of identical futures."""
+        service = _make_service("packet")
+        service.advance_epoch(4)
+        service.save(str(tmp_path / "c.ckpt"))
+        futures = []
+        for _ in range(2):
+            restored = LiveSimulationService.resume(str(tmp_path / "c.ckpt"))
+            restored.run_to_horizon()
+            futures.append(_report_json(restored))
+        assert futures[0] == futures[1]
+
+    def test_resume_checks_spec(self, tmp_path):
+        service = _make_service("packet")
+        service.save(str(tmp_path / "c.ckpt"))
+        other = _small_spec().with_workload(_small_workload(seed=99))
+        with pytest.raises(CheckpointSpecError):
+            LiveSimulationService.resume(str(tmp_path / "c.ckpt"),
+                                         expected_spec=other)
+
+    def test_aimd_engine_rejected(self):
+        with pytest.raises(ServiceError, match="AIMD"):
+            LiveSimulationService(
+                _small_spec().with_workload(_small_workload()),
+                engine="aimd", horizon_s=HORIZON_S)
+
+    def test_fluid_report_needs_horizon(self):
+        service = _make_service("fluid")
+        service.advance_epoch(2)
+        with pytest.raises(ServiceError, match="horizon"):
+            service.report()
+
+
+@st.composite
+def _boundary_scenario(draw):
+    engine, kernel = draw(st.sampled_from(ENGINES))
+    epoch = draw(st.integers(min_value=1,
+                             max_value=int(HORIZON_S / EPOCH_S) - 1))
+    return engine, kernel, epoch
+
+
+_BASELINES: dict = {}
+
+
+def _baseline_outputs(engine: str, kernel: str):
+    key = (engine, kernel)
+    if key not in _BASELINES:
+        service = _make_service(engine, kernel)
+        service.run_to_horizon()
+        _BASELINES[key] = (_report_json(service), service.fct_values())
+    return _BASELINES[key]
+
+
+class TestRandomBoundaryProperty:
+    @given(_boundary_scenario())
+    @settings(max_examples=10, deadline=None)
+    def test_round_trip_at_any_event_boundary(self, scenario):
+        engine, kernel, epoch = scenario
+        expected_report, expected_fct = _baseline_outputs(engine, kernel)
+        service = _make_service(engine, kernel)
+        service.advance_epoch(epoch)
+        # In-memory pickle round trip == file round trip (same bytes
+        # path), without hypothesis needing a per-example tmp dir.
+        blob = pickle.dumps(service.checkpoint())
+        restored = LiveSimulationService.from_checkpoint(
+            pickle.loads(blob))
+        restored.run_to_horizon()
+        assert _report_json(restored) == expected_report
+        assert np.array_equal(restored.fct_values(), expected_fct,
+                              equal_nan=True)
+
+
+# ----------------------------------------------------------------------
+# RNG stream positions survive mid-window checkpoints
+# ----------------------------------------------------------------------
+
+class TestRngStreamSurvival:
+    def test_injector_stream_position_survives_pickle(self):
+        event = FaultEvent.packet_loss(0.0, 1_000.0, 0.3, isl=(3, 4))
+        injector = LinkFaultInjector("isl-3-4", [event], seed=7)
+        for i in range(137):  # mid-window: stream position 137
+            injector.drop_reason(float(i % 900))
+        clone = pickle.loads(pickle.dumps(injector))
+        tail = [injector.drop_reason(float(i)) for i in range(200)]
+        clone_tail = [clone.drop_reason(float(i)) for i in range(200)]
+        assert tail == clone_tail
+
+    def test_injector_extend_keeps_draw_sequence(self):
+        """Injecting a future window == having baked it in from t=0."""
+        e1 = FaultEvent.packet_loss(0.0, 50.0, 0.4, isl=(3, 4))
+        e2 = FaultEvent.packet_loss(80.0, 90.0, 0.9, isl=(3, 4))
+        live = LinkFaultInjector("isl-3-4", [e1], seed=7)
+        baked = LinkFaultInjector("isl-3-4", [e1, e2], seed=7)
+        draws_live = [live.drop_reason(t / 10.0) for t in range(300)]
+        draws_baked = [baked.drop_reason(t / 10.0) for t in range(300)]
+        assert draws_live == draws_baked  # e2 not active yet
+        live.extend([e2], now_s=60.0)
+        after_live = [live.drop_reason(80.0 + t / 100.0)
+                      for t in range(300)]
+        after_baked = [baked.drop_reason(80.0 + t / 100.0)
+                       for t in range(300)]
+        assert after_live == after_baked
+
+    def test_injector_extend_rejects_past_windows(self):
+        injector = LinkFaultInjector("isl-0-1", [], seed=0)
+        with pytest.raises(ValueError, match="future windows"):
+            injector.extend(
+                [FaultEvent.packet_loss(5.0, 9.0, 0.5, isl=(0, 1))],
+                now_s=7.0)
+
+    def test_arrival_stream_position_survives_pickle(self):
+        demand = np.zeros((4, 4))
+        demand[0, 1] = demand[2, 3] = demand[1, 2] = 400_000.0
+        process = FlowArrivalProcess(TrafficMatrix(demand),
+                                     mean_size_bytes=50_000.0, seed=5)
+        whole = process.generate(40.0).requests
+
+        stream = process.stream()
+        head = stream.take_until(13.0)
+        stream = pickle.loads(pickle.dumps(stream))  # mid-stream cut
+        tail = stream.take_until(40.0)
+        assert tuple(head) + tuple(tail) == \
+            tuple(r for r in whole if r.t_start_s < 40.0)
+
+    def test_mid_fault_window_checkpoint_round_trip(self, tmp_path):
+        """The satellite regression: checkpoint inside an active
+        stochastic-loss window; neither the loss RNG nor packet
+        outcomes rewind or skip."""
+        events = [FaultEvent.packet_loss(2.0, 10.0, 0.2, gid=1),
+                  FaultEvent.packet_loss(3.0, 9.0, 0.15, isl=(10, 11))]
+        faults = FaultSchedule(events, seed=13)
+        baseline = _make_service("packet", faults=faults)
+        baseline.run_to_horizon()
+
+        interrupted = _make_service("packet", faults=faults)
+        interrupted.advance_epoch(5)  # t=5: both windows are open
+        restored = _round_trip(interrupted, tmp_path / "midfault.ckpt")
+        restored.run_to_horizon()
+        assert _report_json(restored) == _report_json(baseline)
+        assert np.array_equal(restored.fct_values(),
+                              baseline.fct_values(), equal_nan=True)
+
+    def test_mid_arrival_stream_checkpoint_round_trip(self, tmp_path):
+        """Arrival-process RNG cursors ride inside the checkpoint."""
+        demand = np.zeros((len(_SITES), len(_SITES)))
+        demand[0, 2] = demand[3, 4] = demand[5, 1] = 300_000.0
+        process = FlowArrivalProcess(TrafficMatrix(demand),
+                                     mean_size_bytes=40_000.0, seed=21)
+
+        def build():
+            service = _make_service("packet")
+            service.attach_arrivals(process)
+            return service
+
+        baseline = build()
+        baseline.run_to_horizon()
+        interrupted = build()
+        interrupted.advance_epoch(6)
+        restored = _round_trip(interrupted, tmp_path / "arrivals.ckpt")
+        restored.run_to_horizon()
+        assert _report_json(restored) == _report_json(baseline)
+        assert np.array_equal(restored.fct_values(),
+                              baseline.fct_values(), equal_nan=True)
+
+
+# ----------------------------------------------------------------------
+# Live mutation == baked in from t=0
+# ----------------------------------------------------------------------
+
+class TestLiveMutation:
+    @pytest.mark.parametrize("engine,kernel",
+                             [("packet", "vectorized"),
+                              ("fluid", "vectorized")])
+    def test_attach_workload_equals_baked(self, engine, kernel):
+        extra = _small_workload(seed=31, start_s=4.0, horizon_s=6.0)
+        baked = _make_service(
+            engine, kernel, workload=_small_workload().merged(extra))
+        baked.run_to_horizon()
+
+        live = _make_service(engine, kernel)
+        live.advance_epoch(3)  # extra's first start is >= 4.0
+        live.attach_workload(extra)
+        live.run_to_horizon()
+        assert _outcome_json(live) == _outcome_json(baked)
+
+    def test_inject_fault_equals_baked(self):
+        events = [FaultEvent.satellite_outage(5, 6.0, 9.0),
+                  FaultEvent.packet_loss(7.0, 10.0, 0.25, gid=2)]
+        baked = _make_service("packet",
+                              faults=FaultSchedule(events, seed=0))
+        baked.run_to_horizon()
+
+        live = _make_service("packet")
+        live.advance_epoch(4)
+        assert live.inject_fault(events) == 2
+        live.run_to_horizon()
+        assert _outcome_json(live) == _outcome_json(baked)
+
+    def test_mutations_guard_the_past(self):
+        service = _make_service("packet")
+        service.advance_epoch(5)
+        with pytest.raises(ServiceError, match="past"):
+            service.inject_fault(
+                FaultEvent.satellite_outage(1, 2.0, 8.0))
+        late = WorkloadSchedule(
+            [FlowRequest(1.0, 0, 1, 10_000)], seed=0)
+        with pytest.raises(ServiceError, match="shift_to_now"):
+            service.attach_workload(late)
+        # shift_to_now re-bases the same schedule onto the future.
+        handle = service.attach_workload(late, shift_to_now=True)
+        assert service.detach_workload(handle)["handle"] == handle
+        with pytest.raises(ServiceError, match="unknown workload handle"):
+            service.detach_workload(handle)
+
+    def test_cannot_advance_backwards(self):
+        service = _make_service("packet")
+        service.advance_epoch(3)
+        with pytest.raises(ServiceError, match="backwards"):
+            service.advance_to(1.0)
+
+    def test_attach_then_checkpoint_round_trip(self, tmp_path):
+        """Mutations compose with the checkpoint contract: mutate,
+        checkpoint, restore, finish == mutate and never stop."""
+        extra = _small_workload(seed=41, start_s=3.0, horizon_s=5.0)
+        baseline = _make_service("packet")
+        baseline.advance_epoch(2)
+        baseline.attach_workload(extra)
+        baseline.run_to_horizon()
+
+        interrupted = _make_service("packet")
+        interrupted.advance_epoch(2)
+        interrupted.attach_workload(extra)
+        interrupted.advance_epoch(4)
+        restored = _round_trip(interrupted, tmp_path / "mutated.ckpt")
+        restored.run_to_horizon()
+        assert _report_json(restored) == _report_json(baseline)
+
+
+# ----------------------------------------------------------------------
+# Sweep warm-start
+# ----------------------------------------------------------------------
+
+class TestSweepWarmStart:
+    PAIRS = [(0, 1), (2, 3), (4, 5)]
+    TIMES = np.arange(0.0, 13.0, 1.0)
+
+    def _full(self, spec):
+        return sweep_timelines(spec, self.PAIRS, self.TIMES)
+
+    @pytest.mark.parametrize("workers", [None, 4])
+    def test_resumed_sweep_equals_serial_full_pass(self, workers,
+                                                   tmp_path):
+        spec = _small_spec()
+        expected = self._full(spec)
+        path = tmp_path / "sweep.ckpt"
+        header = sweep_with_checkpoint(spec, self.PAIRS, self.TIMES,
+                                       str(path), checkpoint_index=5)
+        assert header["engine"] == "sweep"
+        resumed = resume_sweep(str(path), workers=workers)
+        assert set(resumed) == set(expected)
+        for pair in expected:
+            assert np.array_equal(resumed[pair].distances_m,
+                                  expected[pair].distances_m,
+                                  equal_nan=True)
+            assert resumed[pair].paths == expected[pair].paths
+
+    def test_sweep_checkpoint_rejects_service_resume(self, tmp_path):
+        spec = _small_spec()
+        path = tmp_path / "sweep.ckpt"
+        sweep_with_checkpoint(spec, self.PAIRS, self.TIMES, str(path),
+                              checkpoint_index=3)
+        with pytest.raises(CheckpointError, match="not a live service"):
+            LiveSimulationService.resume(str(path))
+        service = _make_service("packet")
+        service.save(str(tmp_path / "svc.ckpt"))
+        with pytest.raises(CheckpointError, match="not a sweep"):
+            resume_sweep(str(tmp_path / "svc.ckpt"))
+
+
+# ----------------------------------------------------------------------
+# The JSON-over-TCP server
+# ----------------------------------------------------------------------
+
+class _ServerThread:
+    """A ServiceServer on a background event loop, for client tests."""
+
+    def __init__(self, service: LiveSimulationService, pace: float = 0.0):
+        self.ready = threading.Event()
+        self.port = 0
+
+        def runner() -> None:
+            async def main() -> None:
+                server = ServiceServer(service, pace=pace)
+                await server.start()
+                self.port = server.port
+                self.ready.set()
+                await server.wait_closed()
+            asyncio.run(main())
+
+        self.thread = threading.Thread(target=runner, daemon=True)
+
+    def __enter__(self) -> "_ServerThread":
+        self.thread.start()
+        assert self.ready.wait(timeout=10.0), "server never came up"
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.thread.join(timeout=10.0)
+
+
+class TestServerClient:
+    def test_command_session(self, tmp_path):
+        service = _make_service("packet")
+        with _ServerThread(service) as server:
+            with ServiceClient("127.0.0.1", server.port) as client:
+                status = client.status()
+                assert status["engine"] == "packet"
+                assert status["time_s"] == 0.0
+                assert client.advance(3)["time_s"] == 3.0
+                header = client.checkpoint(str(tmp_path / "live.ckpt"))
+                assert header["time_s"] == 3.0
+                metrics = client.metrics()
+                assert set(metrics) >= {"counters", "gauges",
+                                        "histograms"}
+                report = client.report(deterministic=True)
+                assert report["kind"] == "packet"
+                with pytest.raises(ServiceClientError,
+                                   match="unknown command"):
+                    client.command("warp")
+                with pytest.raises(ServiceClientError,
+                                   match="epochs must be"):
+                    client.command("advance", epochs=-1)
+                assert client.stop()["time_s"] == 3.0
+        # The checkpoint written over the wire restores like any other.
+        restored = LiveSimulationService.resume(str(tmp_path / "live.ckpt"))
+        assert restored.clock_s == 3.0
+
+    def test_live_mutation_over_the_wire(self):
+        service = _make_service("packet")
+        extra = _small_workload(seed=51, start_s=2.0, horizon_s=4.0)
+        with _ServerThread(service) as server:
+            with ServiceClient("127.0.0.1", server.port) as client:
+                client.advance(1)
+                handle = client.command(
+                    "attach_workload",
+                    workload=extra.as_dict())["handle"]
+                injected = client.command("inject_fault", events=[
+                    FaultEvent.satellite_outage(3, 5.0, 8.0).as_dict(),
+                ])["injected"]
+                assert injected == 1
+                detached = client.command("detach_workload",
+                                          handle=handle)
+                assert detached["handle"] == handle
+                client.command("run_to_horizon")
+                assert client.status()["done"]
+                client.stop()
+
+    def test_paced_server_advances_by_itself(self):
+        service = _make_service("packet")
+        with _ServerThread(service, pace=50.0) as server:
+            with ServiceClient("127.0.0.1", server.port) as client:
+                deadline = 30.0
+                import time
+                start = time.monotonic()
+                while (client.status()["time_s"] < 2.0
+                       and time.monotonic() - start < deadline):
+                    time.sleep(0.05)
+                assert client.status()["time_s"] >= 2.0
+                client.stop()
