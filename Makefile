@@ -6,10 +6,10 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check test smoke bench bench-fig2 bench-obs bench-sweep \
 	bench-faults bench-traffic bench-fluid-scale bench-routing \
-	bench-service bench-report clean
+	bench-service bench-cc bench-report clean
 
 check: test smoke bench-obs bench-sweep bench-faults bench-traffic \
-	bench-fluid-scale bench-routing bench-service
+	bench-fluid-scale bench-routing bench-service bench-cc
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -72,6 +72,15 @@ bench-routing:
 # and workers=4).  Appends results/BENCH_service_restore.json.
 bench-service:
 	$(PYTHON) -m pytest benchmarks/test_service_restore.py -q -o testpaths=
+
+# Congestion-control gate: the plug-in classics must stay bit-identical
+# to the frozen seed flows (cwnd/RTT traces and counters), and the
+# learned controller must match or beat the best classic's FCT p50 in
+# >= 1 scenario of the fault x weather x churn cc-lab matrix — with the
+# matrix itself bit-identical at any worker count.  Appends
+# results/BENCH_cc_matrix.json.
+bench-cc:
+	$(PYTHON) -m pytest benchmarks/test_cc_matrix.py -q -o testpaths=
 
 # The scalability benches touched by the batched routing path.
 bench-fig2:

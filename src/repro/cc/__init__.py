@@ -1,0 +1,46 @@
+"""repro.cc — the pluggable rate-control lab.
+
+Three layers (see DESIGN.md "Congestion-control plug-ins & rate-control
+lab"):
+
+1. the plug-in API (:mod:`repro.cc.api`): the
+   :class:`CongestionController` interface, the shared RFC 6298
+   :class:`RttEstimator`, and the string-keyed
+   :func:`register_controller` registry, with the three classics
+   (:mod:`repro.cc.classic`) and the learned bandit
+   (:mod:`repro.cc.learned`) pre-registered;
+2. a gym-style environment (:mod:`repro.cc.env`, import as a
+   submodule): a seeded step/observe/act loop over the packet
+   simulator for training/evaluating rate-control policies;
+3. the evaluation harness (:mod:`repro.cc.lab`, import as a
+   submodule): every registered controller head-to-head across the
+   fault x weather x churn scenario matrix — the `repro cc-lab` CLI.
+
+``env`` and ``lab`` are not imported here: they pull in the network
+stack, which the registry (imported by :mod:`repro.transport.tcp`
+itself) must not.
+"""
+
+from .api import (CONTROLLERS, CongestionController, RttEstimator,
+                  controller_names, make_controller, register_controller,
+                  resolve_controller)
+from .classic import BbrController, NewRenoController, VegasController
+from .factory import ControllerFlowFactory
+from .learned import DEFAULT_ARMS, BanditBrain, BanditController
+
+__all__ = [
+    "CONTROLLERS",
+    "CongestionController",
+    "RttEstimator",
+    "controller_names",
+    "make_controller",
+    "register_controller",
+    "resolve_controller",
+    "NewRenoController",
+    "VegasController",
+    "BbrController",
+    "BanditBrain",
+    "BanditController",
+    "DEFAULT_ARMS",
+    "ControllerFlowFactory",
+]

@@ -1,0 +1,289 @@
+"""The congestion-control plug-in API.
+
+Paper §4.2 shows congestion control behaving *qualitatively* differently
+over LEO paths (NewReno underutilizes long fat links, Vegas misreads
+orbital RTT swings as congestion) and explicitly calls for evaluating
+newer algorithms.  The transport layer therefore treats the congestion
+controller as a swappable experiment axis rather than a class hierarchy:
+
+* :class:`CongestionController` is the formal interface — per-ACK /
+  loss / timeout / RTT-sample hooks in, cwnd / pacing-rate decisions
+  out, plus a JSON-expressible state dict so controllers survive
+  :mod:`repro.service` checkpoints;
+* :func:`register_controller` / :func:`make_controller` form a
+  string-keyed registry (mirroring
+  :func:`repro.sweep.register_isl_builder`), so controller choices
+  travel across process boundaries by name;
+* :class:`RttEstimator` is the one shared RFC 6298 srtt/rttvar/RTO
+  estimator (with Karn-style exponential backoff) that every controller
+  rides on — previously duplicated knowledge of the NewReno base class.
+
+The generic :class:`repro.transport.tcp.TcpFlow` owns the *mechanics*
+(SACK scoreboard, retransmission machinery, receiver, timers); the
+controller owns the *policy* (what cwnd/pacing to run after each event).
+Controllers mutate ``flow.cwnd`` / ``flow.ssthresh`` directly — the flow
+is the single source of truth the window accounting and the cwnd log
+read from.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Union
+
+__all__ = [
+    "CongestionController", "RttEstimator", "CONTROLLERS",
+    "register_controller", "make_controller", "controller_names",
+    "resolve_controller", "RTO_MIN_S", "RTO_MAX_S", "RTO_INITIAL_S",
+]
+
+#: RFC 6298 parameters (shared by every controller's estimator).
+RTO_MIN_S = 0.2
+RTO_MAX_S = 60.0
+RTO_INITIAL_S = 1.0
+
+
+class RttEstimator:
+    """RFC 6298 smoothed-RTT / RTO estimation with Karn backoff.
+
+    One instance lives on every :class:`~repro.transport.tcp.TcpFlow`;
+    controllers and the flow's RTO machinery read the same ``srtt`` /
+    ``rttvar`` / ``rto`` rather than keeping private copies (the seed
+    classes duplicated this logic through inheritance).
+
+    Karn's rule in this simulator: samples are always unambiguous
+    (ACKs echo the *specific* transmission's send timestamp), so the
+    sampling half is implicit; the backoff half —
+    exponential RTO doubling on timeout, never below the updated
+    estimate — is :meth:`backoff`.
+    """
+
+    __slots__ = ("srtt", "rttvar", "rto")
+
+    def __init__(self) -> None:
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+        self.rto = RTO_INITIAL_S
+
+    def observe(self, sample_s: float) -> None:
+        """Fold one RTT sample into srtt/rttvar and recompute the RTO."""
+        if self.srtt is None:
+            self.srtt = sample_s
+            self.rttvar = sample_s / 2.0
+        else:
+            self.rttvar = (0.75 * self.rttvar
+                           + 0.25 * abs(self.srtt - sample_s))
+            self.srtt = 0.875 * self.srtt + 0.125 * sample_s
+        self.rto = min(max(self.srtt + 4.0 * self.rttvar, RTO_MIN_S),
+                       RTO_MAX_S)
+
+    def backoff(self) -> None:
+        """Karn-style exponential backoff after a retransmission timeout."""
+        self.rto = min(self.rto * 2.0, RTO_MAX_S)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"srtt": self.srtt, "rttvar": self.rttvar, "rto": self.rto}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.srtt = state["srtt"]
+        self.rttvar = float(state["rttvar"])
+        self.rto = float(state["rto"])
+
+
+class CongestionController:
+    """Base class of congestion-control plug-ins.
+
+    Lifecycle: construct (pure parameters), :meth:`attach` to exactly
+    one flow, then receive event hooks for the flow's lifetime.  The
+    controller expresses its decisions by mutating ``flow.cwnd`` and
+    ``flow.ssthresh`` (window-based control) and/or by returning a
+    rate from :attr:`pacing_rate_bps` with :attr:`paced` True
+    (rate-based control, e.g. BBR).
+
+    Hook call points (see :class:`repro.transport.tcp.TcpFlow`):
+
+    * :meth:`on_rtt_sample` — every ACK carrying a timestamp echo,
+      *after* the shared :class:`RttEstimator` has folded the sample;
+    * :meth:`on_ack` — cumulative progress outside loss recovery;
+    * :meth:`on_loss` — entering fast recovery (scoreboard inferred a
+      loss); the flow has already done the recovery bookkeeping;
+    * :meth:`on_recovery_exit` — the recovery point was cumulatively
+      ACKed;
+    * :meth:`on_timeout` — a retransmission timeout fired (with
+      :meth:`post_timeout` after the flow's RTO bookkeeping finished);
+    * :meth:`post_ack` — end of ACK processing, after transmission
+      opportunities were taken (model-based controllers refresh their
+      cwnd/pacing decisions here).
+
+    Subclasses must be constructible with keyword arguments only — the
+    registry builds them as ``cls(**kwargs)``.
+    """
+
+    #: Registry key; subclasses override.
+    name = "base"
+    #: Rate-based controllers set True: the flow paces single packets at
+    #: :attr:`pacing_rate_bps` instead of window-bursting.
+    paced = False
+    #: Attribute names holding deques (converted to lists by
+    #: :meth:`state_dict` and restored by :meth:`load_state_dict`).
+    _deque_fields: tuple = ()
+
+    def __init__(self) -> None:
+        self.flow = None  # set by attach()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def attach(self, flow) -> "CongestionController":
+        """Bind to the flow this controller steers; returns self."""
+        if self.flow is not None:
+            raise RuntimeError(
+                f"controller {self.name!r} is already attached to a flow; "
+                f"construct one controller per flow")
+        self.flow = flow
+        self._on_attach()
+        return self
+
+    def _on_attach(self) -> None:
+        """Subclass hook: finish initialization that needs flow fields
+        (packet size, initial cwnd)."""
+
+    # ------------------------------------------------------------------
+    # Event hooks (policy in)
+    # ------------------------------------------------------------------
+
+    def on_rtt_sample(self, rtt_s: float, now_s: float) -> None:
+        """An RTT sample arrived (estimator already updated)."""
+
+    def on_ack(self, newly_acked: int, now_s: float) -> None:
+        """Cumulative ACK progress of ``newly_acked`` packets outside
+        recovery; grow (or hold) the window here."""
+
+    def on_loss(self, now_s: float) -> None:
+        """The scoreboard inferred a loss and the flow entered fast
+        recovery; apply the multiplicative-decrease decision here."""
+
+    def on_recovery_exit(self, now_s: float) -> None:
+        """Fast recovery completed (the recovery point was ACKed)."""
+        flow = self.flow
+        flow.cwnd = flow.ssthresh
+
+    def on_timeout(self, now_s: float) -> None:
+        """A retransmission timeout fired; set the post-RTO window."""
+
+    def post_timeout(self, now_s: float) -> None:
+        """End of RTO processing, after the flow logged the post-RTO
+        window (rate-based controllers patch cwnd back up here)."""
+
+    def post_ack(self, now_s: float) -> None:
+        """End of ACK processing (after sends); refresh model decisions."""
+
+    # ------------------------------------------------------------------
+    # Decisions out
+    # ------------------------------------------------------------------
+
+    @property
+    def pacing_rate_bps(self) -> Optional[float]:
+        """Current pacing rate; only meaningful when :attr:`paced`."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Checkpoint surface
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """A JSON-expressible snapshot of the controller's state.
+
+        The default captures every instance attribute except the flow
+        back-reference, converting deques to lists.  Subclasses with
+        richer state (shared brains, RNG streams) override and call up.
+        """
+        state: Dict[str, Any] = {}
+        for key, value in self.__dict__.items():
+            if key == "flow":
+                continue
+            if key in self._deque_fields:
+                value = [list(item) if isinstance(item, tuple) else item
+                         for item in value]
+            state[key] = value
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output (flow binding unchanged)."""
+        for key, value in state.items():
+            if key in self._deque_fields:
+                value = deque(tuple(item) if isinstance(item, list) else item
+                              for item in value)
+            setattr(self, key, value)
+
+    @classmethod
+    def make_shared_state(cls, **kwargs) -> Dict[str, Any]:
+        """Extra constructor kwargs shared by all flows of one scenario.
+
+        Learned controllers override this to build one brain that every
+        flow's controller instance updates (see
+        :class:`repro.cc.learned.BanditController`); classic controllers
+        share nothing.
+        """
+        del kwargs
+        return {}
+
+
+#: Named controller classes/factories a flow (or a lab cell in another
+#: process) may reference.  Keys travel across process boundaries;
+#: values never leave this process.
+CONTROLLERS: Dict[str, Callable[..., CongestionController]] = {}
+
+
+def register_controller(name: str,
+                        factory: Callable[..., CongestionController],
+                        ) -> None:
+    """Register a controller class under a string key.
+
+    Mirrors :func:`repro.sweep.register_isl_builder`: registration must
+    happen at import time of a module worker processes also import when
+    using the ``spawn`` start method; under ``fork`` (the Linux
+    default) the inherited registry suffices.  Re-registering the same
+    factory under its name is a no-op; a different factory under a
+    taken name is an error.
+    """
+    existing = CONTROLLERS.get(name)
+    if existing is not None and existing is not factory:
+        raise ValueError(f"controller name {name!r} is already taken")
+    CONTROLLERS[name] = factory
+
+
+def make_controller(name: str, **kwargs) -> CongestionController:
+    """Instantiate a registered controller by name."""
+    try:
+        factory = CONTROLLERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown congestion controller {name!r}; known: "
+            f"{controller_names()} (register_controller adds more)"
+        ) from None
+    return factory(**kwargs)
+
+
+def controller_names() -> List[str]:
+    """Registered controller names, sorted."""
+    return sorted(CONTROLLERS)
+
+
+def resolve_controller(spec: Union[str, CongestionController, None],
+                       ) -> CongestionController:
+    """A controller instance from a name, an instance, or None.
+
+    ``None`` resolves to the default (``"newreno"``); a string goes
+    through the registry; an unattached instance passes through.
+    """
+    if spec is None:
+        spec = "newreno"
+    if isinstance(spec, str):
+        return make_controller(spec)
+    if isinstance(spec, CongestionController):
+        return spec
+    raise TypeError(
+        f"controller must be a registered name or a CongestionController "
+        f"instance, got {type(spec).__name__}")

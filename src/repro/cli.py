@@ -304,6 +304,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="flow size distribution")
     traffic.add_argument("--matrix-out", default=None,
                          help="also write the demand matrix JSON here")
+
+    cc_lab = sub.add_parser(
+        "cc-lab", help="race every congestion controller through the "
+                       "fault x weather x churn scenario matrix")
+    cc_lab.add_argument("--shell", default="8x8", metavar="NxM",
+                        help="lab constellation: N orbits x M satellites "
+                             "at 600 km / 53 deg (default 8x8; below 8x8 "
+                             "some site pairs have no route)")
+    cc_lab.add_argument("--controllers", default=None, metavar="CSV",
+                        help="comma-separated registry names "
+                             "(default: all registered controllers)")
+    cc_lab.add_argument("--duration", type=float, default=8.0,
+                        help="simulated seconds per cell")
+    cc_lab.add_argument("--seed", type=int, default=0,
+                        help="workload / fault / storm base seed")
+    cc_lab.add_argument("--workers", type=int, default=1,
+                        help="process-pool width (cells are independent; "
+                             "the report is identical at any width)")
+    cc_lab.add_argument("--learned", default="bandit",
+                        help="controller scored against the classics")
+    cc_lab.add_argument("-o", "--output", default=None, metavar="JSON",
+                        help="write the full cell-by-cell report here")
     return parser
 
 
@@ -759,6 +781,34 @@ def _cmd_traffic(args) -> int:
     return 0
 
 
+def _cmd_cc_lab(args) -> int:
+    from .cc.api import controller_names
+    from .cc.lab import lab_network, run_lab
+    if args.controllers is not None:
+        controllers = [name.strip()
+                       for name in args.controllers.split(",") if name.strip()]
+        known = controller_names()
+        for name in controllers:
+            if name not in known:
+                raise KeyError(f"unknown controller {name!r}; "
+                               f"registered: {', '.join(known)}")
+    else:
+        controllers = None
+    try:
+        base = lab_network(args.shell)
+    except ValueError as error:
+        raise KeyError(str(error))
+    report = run_lab(controllers=controllers, seed=args.seed,
+                     duration_s=args.duration, workers=args.workers,
+                     learned=args.learned, base=base)
+    for line in report.format_lines():
+        print(line)
+    if args.output:
+        report.to_json(args.output)
+        print(f"wrote cell-by-cell report to {args.output}")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "rtt": _cmd_rtt,
@@ -774,6 +824,7 @@ _COMMANDS = {
     "resume": _cmd_resume,
     "faults": _cmd_faults,
     "traffic": _cmd_traffic,
+    "cc-lab": _cmd_cc_lab,
 }
 
 

@@ -43,6 +43,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..cc.factory import ControllerFlowFactory
 from ..faults.injector import LinkFaultInjector
 from ..faults.schedule import FaultEvent, FaultSchedule
 from ..fluid.engine import (_ELASTIC_DEMAND_CAPACITIES, FluidRunState,
@@ -83,6 +84,14 @@ class LiveSimulationService:
         link_config: Packet device rates/queues (paper defaults when
             omitted).
         forwarding_interval_s: Packet forwarding refresh period.
+        controller: Congestion-controller registry name (see
+            :mod:`repro.cc`) every spawned flow runs — including flows
+            of workloads attached later.  Packet engine only.  Default:
+            the spawner default (NewReno).  Controller state — a
+            learned controller's brain included — lives inside the
+            spawners, so it rides in checkpoints and survives restore.
+        controller_kwargs: Constructor kwargs for each flow's
+            controller.
         meta: Free-form JSON-expressible provenance stamped into every
             checkpoint header.
     """
@@ -94,12 +103,18 @@ class LiveSimulationService:
                  link_capacity_bps: float = 10_000_000.0,
                  link_config: Optional[LinkConfig] = None,
                  forwarding_interval_s: float = 0.1,
+                 controller: Optional[str] = None,
+                 controller_kwargs: Optional[Dict[str, Any]] = None,
                  meta: Optional[Dict[str, Any]] = None) -> None:
         if engine not in ("packet", "fluid"):
             raise ServiceError(
                 f"unknown or non-checkpointable engine {engine!r}; the "
                 f"service supports 'packet' and 'fluid' (max-min) — the "
                 f"AIMD fluid engine carries unresumable loop transients")
+        if controller is not None and engine != "packet":
+            raise ServiceError(
+                "congestion controllers steer packet-engine flows; the "
+                "fluid engines have no transport layer to plug into")
         if horizon_s <= 0.0:
             raise ServiceError(f"horizon must be positive, got {horizon_s}")
         if epoch_s <= 0.0:
@@ -117,6 +132,13 @@ class LiveSimulationService:
         self._attached: Dict[int, Dict[str, Any]] = {}
         self._next_handle = 1
         self._arrival_streams: List[FlowArrivalStream] = []
+        #: Shared controller-aware factory (None: spawner default).
+        #: One instance across all spawners, so cross-flow controller
+        #: state (a learned brain) is scenario-wide and checkpointed.
+        self._flow_factory: Optional[ControllerFlowFactory] = None
+        if controller is not None:
+            self._flow_factory = ControllerFlowFactory(
+                controller, controller_kwargs)
 
         if engine == "packet":
             self.sim: Optional[PacketSimulator] = PacketSimulator(
@@ -127,7 +149,8 @@ class LiveSimulationService:
             self._spawners: List[WorkloadSpawner] = []
             if spec.workload is not None and not spec.workload.is_empty:
                 spawner = WorkloadSpawner(spec.workload,
-                                          metrics=self.metrics)
+                                          metrics=self.metrics,
+                                          flow_factory=self._flow_factory)
                 spawner.install(self.sim)
                 self._spawners.append(spawner)
         else:
@@ -270,7 +293,8 @@ class LiveSimulationService:
         if self.engine == "packet":
             assert self.sim is not None
             spawner = WorkloadSpawner(
-                WorkloadSchedule(requests), metrics=self.metrics)
+                WorkloadSchedule(requests), metrics=self.metrics,
+                flow_factory=self._flow_factory)
             spawner.install(self.sim)
             self._spawners.append(spawner)
             self._attached[handle] = {"kind": "workload",
@@ -486,18 +510,23 @@ class LiveSimulationService:
         attachments).
         """
         from ..obs.report import FCT_BUCKETS
+        from ..traffic.spawner import controller_fct_rows
         histogram = self.metrics.histogram("traffic.fct_s",
                                            buckets=FCT_BUCKETS)
         finite = completed = 0
         offered = delivered = 0.0
+        by_controller: Dict[str, List[float]] = {}
         for spawner in self._spawners:
             finite += spawner.schedule.num_flows
             completed += spawner.completed
             offered += spawner.schedule.offered_bits
             delivered += float(spawner._delivered_bytes) * 8.0
+            for name, fcts in spawner.fcts_by_controller.items():
+                by_controller.setdefault(name, []).extend(fcts)
         return {"histogram": histogram.as_dict(), "flows_finite": finite,
                 "flows_completed": completed, "offered_bits": offered,
-                "delivered_bits": delivered}
+                "delivered_bits": delivered,
+                "by_controller": controller_fct_rows(by_controller)}
 
     def fct_values(self) -> np.ndarray:
         """Per-flow completion times recorded so far (seconds)."""

@@ -27,7 +27,33 @@ from ..transport.base import Application
 from ..transport.tcp import TcpNewRenoFlow
 from .arrivals import FlowRequest, WorkloadSchedule
 
-__all__ = ["WorkloadSpawner", "FCT_BUCKETS"]
+__all__ = ["WorkloadSpawner", "FCT_BUCKETS", "controller_fct_rows"]
+
+
+def controller_fct_rows(fcts_by_controller: Dict[str, List[float]]
+                        ) -> Dict[str, Dict[str, float]]:
+    """Per-controller FCT percentile rows for the ``fct`` report extras.
+
+    One row per congestion controller that completed at least one flow,
+    keyed by registry name — how a mixed-controller run (or a cc-lab
+    cell) breaks its FCT distribution down by algorithm.  Shared between
+    :meth:`WorkloadSpawner.fct_extras` and the live service's combined
+    extras so both report the same shape.
+    """
+    import numpy as np
+    rows: Dict[str, Dict[str, float]] = {}
+    for name in sorted(fcts_by_controller):
+        fcts = np.asarray(fcts_by_controller[name])
+        if fcts.size == 0:
+            continue
+        rows[name] = {
+            "flows_completed": float(fcts.size),
+            "fct_mean_s": float(fcts.mean()),
+            "fct_p50_s": float(np.percentile(fcts, 50)),
+            "fct_p90_s": float(np.percentile(fcts, 90)),
+            "fct_p99_s": float(np.percentile(fcts, 99)),
+        }
+    return rows
 
 
 class WorkloadSpawner:
@@ -64,6 +90,9 @@ class WorkloadSpawner:
         self._factory = flow_factory or self._default_factory
         self.flows: List[Application] = []
         self.fcts_s: List[float] = []
+        #: Completion times keyed by the flow's congestion-controller
+        #: registry name (``controller_name``; class name fallback).
+        self.fcts_by_controller: Dict[str, List[float]] = {}
         self.started = 0
         self.completed = 0
         self._active = 0
@@ -110,7 +139,7 @@ class WorkloadSpawner:
         """
         app = self._factory(request).install(sim)
         app.on_complete = partial(self._on_flow_complete,  # type: ignore
-                                  request)
+                                  request, app)
         self.flows.append(app)
         sim.scheduler.schedule_at(request.t_start_s, self._on_flow_started)
 
@@ -123,12 +152,15 @@ class WorkloadSpawner:
             registry.counter("traffic.flows_started").inc()
             self._sample_active(self.sim.now, +1.0)
 
-    def _on_flow_complete(self, request: FlowRequest, now_s: float) -> None:
+    def _on_flow_complete(self, request: FlowRequest, app: Application,
+                          now_s: float) -> None:
         fct = now_s - request.t_start_s
         self.completed += 1
         self._active -= 1
         self._delivered_bytes += float(request.size_bytes)
         self.fcts_s.append(fct)
+        label = getattr(app, "controller_name", None) or type(app).__name__
+        self.fcts_by_controller.setdefault(label, []).append(fct)
         registry = self.metrics
         if registry is not None:
             registry.counter("traffic.flows_completed").inc()
@@ -193,4 +225,5 @@ class WorkloadSpawner:
             "flows_completed": int(self.completed),
             "offered_bits": self.schedule.offered_bits,
             "delivered_bits": float(self._delivered_bytes) * 8.0,
+            "by_controller": controller_fct_rows(self.fcts_by_controller),
         }

@@ -1,9 +1,11 @@
-"""Transport protocols and applications: ping, UDP, TCP NewReno, TCP Vegas."""
+"""Transport protocols and applications: ping, UDP, and TCP with
+pluggable congestion control (NewReno, Vegas, BBR, and anything in the
+:mod:`repro.cc` registry via ``TcpFlow(..., controller=name)``)."""
 
 from .base import Application, TimeSeriesLog, allocate_flow_id
 from .bbr import TcpBbrFlow
 from .ping import PingSession
-from .tcp import TcpNewRenoFlow
+from .tcp import TcpFlow, TcpNewRenoFlow
 from .udp import UdpFlow
 from .vegas import TcpVegasFlow
 
@@ -13,6 +15,7 @@ __all__ = [
     "allocate_flow_id",
     "PingSession",
     "TcpBbrFlow",
+    "TcpFlow",
     "TcpNewRenoFlow",
     "UdpFlow",
     "TcpVegasFlow",

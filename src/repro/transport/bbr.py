@@ -12,7 +12,7 @@ provides that evaluation vehicle — a simplified BBR v1:
   (Vegas' LEO failure mode, Fig. 5);
 * **paced** transmission at ``gain x BtlBw`` with the STARTUP / DRAIN /
   PROBE_BW gain machinery, and an in-flight cap of ``2 x BDP``;
-* loss is repaired through the base class's SACK machinery but does not
+* loss is repaired through the flow's SACK machinery but does not
   collapse the sending rate (BBR v1 semantics) — so reordering-induced
   spurious "losses" at path changes cost retransmissions, not throughput.
 
@@ -20,216 +20,61 @@ Simplifications vs full BBR: no PROBE_RTT state (the 0.75-gain phase of
 PROBE_BW drains the queue enough to refresh min-RTT in this setting), and
 the delivery rate is estimated from cumulative-ACK progress per smoothed
 RTT rather than per-packet delivered counters.
+
+The state machine and filters live in
+:class:`repro.cc.classic.BbrController`; this class is the historical
+flow-class spelling: :class:`~repro.transport.tcp.TcpFlow` pinned to a
+``BbrController``, with the model internals re-exposed for inspection.
 """
 
 from __future__ import annotations
 
-import math
-from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, Tuple
 
-from ..obs.trace import FLOW_STATE
-from ..simulation.simulator import PacketSimulator
-from .tcp import TcpNewRenoFlow
+from ..cc.classic import (BW_WINDOW_ROUNDS, DRAIN_GAIN, MIN_RTT_WINDOW_S,
+                          PROBE_BW_GAINS, STARTUP_GAIN, BbrController)
+from .tcp import TcpFlow
 
 __all__ = ["TcpBbrFlow"]
 
-#: STARTUP/DRAIN pacing gains (2/ln2 and its inverse).
-STARTUP_GAIN = 2.885
-DRAIN_GAIN = 1.0 / STARTUP_GAIN
 
-#: PROBE_BW gain cycle.
-PROBE_BW_GAINS = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
-
-#: Windows for the two filters.
-BW_WINDOW_ROUNDS = 10
-MIN_RTT_WINDOW_S = 10.0
-
-
-class TcpBbrFlow(TcpNewRenoFlow):
+class TcpBbrFlow(TcpFlow):
     """A (simplified) BBR flow between two ground stations.
 
-    Accepts the same arguments as :class:`TcpNewRenoFlow`.  The inherited
+    Accepts the same arguments as :class:`~repro.transport.tcp.TcpFlow`.
     ``cwnd`` is maintained at BBR's in-flight cap (``2 x BtlBw x RTprop``
     in packets); sending is paced rather than window-burst.
     """
 
-    MIN_CWND = 4.0
+    MIN_CWND = BbrController.MIN_CWND
 
     def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        self._mode = "startup"
-        self._pacing_rate_bps = 10.0 * self.packet_bytes * 8.0  # bootstrap
-        self._bw_filter: Deque[Tuple[float, float]] = deque()
-        self._rtt_filter: Deque[Tuple[float, float]] = deque()
-        self._cycle_index = 0
-        self._cycle_started_s = 0.0
-        self._full_bw = 0.0
-        self._full_bw_rounds = 0
-        self._delivered_at_round_start = 0
-        self._round_start_s = 0.0
-        self._pacer_armed = False
-        self._next_send_s = 0.0
+        super().__init__(*args, controller=BbrController(), **kwargs)
 
-    # ------------------------------------------------------------------
-    # Filters and model
-    # ------------------------------------------------------------------
+    # Historical inspection surface, now owned by the controller.
 
     @property
     def btl_bw_bps(self) -> float:
         """Current bottleneck-bandwidth estimate (windowed max)."""
-        if not self._bw_filter:
-            return self._pacing_rate_bps
-        return max(bw for _, bw in self._bw_filter)
+        return self.controller.btl_bw_bps
 
     @property
     def rt_prop_s(self) -> float:
         """Current round-trip propagation estimate (windowed min)."""
-        if not self._rtt_filter:
-            return self.srtt if self.srtt is not None else 0.1
-        return min(rtt for _, rtt in self._rtt_filter)
+        return self.controller.rt_prop_s
 
-    def _bdp_packets(self) -> float:
-        return max(1.0, self.btl_bw_bps * self.rt_prop_s
-                   / (self.packet_bytes * 8.0))
+    @property
+    def _mode(self) -> str:
+        return self.controller._mode
 
-    def _on_rtt_sample(self, rtt_s: float) -> None:
-        assert self.sim is not None
-        now = self.sim.now
-        self._rtt_filter.append((now, rtt_s))
-        while self._rtt_filter and \
-                self._rtt_filter[0][0] < now - MIN_RTT_WINDOW_S:
-            self._rtt_filter.popleft()
-        # One delivery-rate sample per round trip.
-        round_duration = now - self._round_start_s
-        if round_duration >= (self.srtt or rtt_s):
-            delivered_packets = self.snd_una - self._delivered_at_round_start
-            if delivered_packets > 0 and round_duration > 0:
-                bw = (delivered_packets * self.packet_bytes * 8.0
-                      / round_duration)
-                self._bw_filter.append((now, bw))
-                window = BW_WINDOW_ROUNDS * max(self.srtt or rtt_s, 1e-3)
-                while self._bw_filter and \
-                        self._bw_filter[0][0] < now - window:
-                    self._bw_filter.popleft()
-                self._advance_state_machine(bw)
-            self._delivered_at_round_start = self.snd_una
-            self._round_start_s = now
-        self._update_model()
+    @property
+    def _pacing_rate_bps(self) -> float:
+        return self.controller._pacing_rate_bps
 
-    def _advance_state_machine(self, latest_bw_bps: float) -> None:
-        assert self.sim is not None
-        now = self.sim.now
-        if self._mode == "startup":
-            if latest_bw_bps > self._full_bw * 1.25:
-                self._full_bw = latest_bw_bps
-                self._full_bw_rounds = 0
-            else:
-                self._full_bw_rounds += 1
-                if self._full_bw_rounds >= 3:
-                    self._set_mode("drain")
-        elif self._mode == "drain":
-            if self.flight_size <= self._bdp_packets():
-                self._set_mode("probe_bw")
-                self._cycle_index = 0
-                self._cycle_started_s = now
-        elif self._mode == "probe_bw":
-            if now - self._cycle_started_s >= self.rt_prop_s:
-                self._cycle_index = (self._cycle_index + 1) \
-                    % len(PROBE_BW_GAINS)
-                self._cycle_started_s = now
+    @property
+    def _bw_filter(self) -> Deque[Tuple[float, float]]:
+        return self.controller._bw_filter
 
-    def _set_mode(self, mode: str) -> None:
-        """Transition the BBR state machine, tracing the change."""
-        self._mode = mode
-        tracer = self._tracer
-        if tracer.enabled:
-            assert self.sim is not None
-            tracer.emit(self.sim.now, FLOW_STATE, flow=self.flow_id,
-                        value=self.btl_bw_bps, reason=f"bbr_{mode}")
-
-    def _pacing_gain(self) -> float:
-        if self._mode == "startup":
-            return STARTUP_GAIN
-        if self._mode == "drain":
-            return DRAIN_GAIN
-        return PROBE_BW_GAINS[self._cycle_index]
-
-    def _update_model(self) -> None:
-        self._pacing_rate_bps = max(
-            self._pacing_gain() * self.btl_bw_bps,
-            2.0 * self.packet_bytes * 8.0 / max(self.rt_prop_s, 1e-3))
-        # In-flight cap: 2 x BDP (cwnd_gain = 2).
-        self.cwnd = max(self.MIN_CWND, 2.0 * self._bdp_packets())
-        self.ssthresh = self.cwnd  # keep the base's bookkeeping harmless
-
-    # ------------------------------------------------------------------
-    # Rate-based loss response (BBR ignores loss for its rate model)
-    # ------------------------------------------------------------------
-
-    def _increase_on_ack(self, newly_acked: int) -> None:
-        pass  # the model, not ACK counting, sets cwnd
-
-    def _enter_fast_recovery(self) -> None:
-        # Keep the scoreboard/retransmission state machine, skip the
-        # multiplicative decrease.
-        self.fast_retransmits += 1
-        self.recover_seq = self.snd_nxt - 1
-        self.in_recovery = True
-
-    def _on_ack(self, packet) -> None:
-        super()._on_ack(packet)
-        # Undo any cwnd mutation the base recovery/exit logic applied.
-        self._update_model()
-
-    def _on_rto(self, epoch: int) -> None:
-        cwnd_before = self.cwnd
-        super()._on_rto(epoch)
-        if self.cwnd < cwnd_before:
-            self.cwnd = max(self.MIN_CWND, cwnd_before / 2.0)
-
-    # ------------------------------------------------------------------
-    # Pacing
-    # ------------------------------------------------------------------
-
-    def _try_send(self) -> None:
-        assert self.sim is not None
-        if self.sim.now >= self.stop_s:
-            return
-        self._arm_pacer()
-        self._arm_rto()
-
-    def _arm_pacer(self) -> None:
-        if self._pacer_armed:
-            return
-        assert self.sim is not None
-        self._pacer_armed = True
-        delay = max(0.0, self._next_send_s - self.sim.now)
-        self.sim.scheduler.schedule(delay, self._pacer_fire)
-
-    def _pacer_fire(self) -> None:
-        assert self.sim is not None
-        self._pacer_armed = False
-        now = self.sim.now
-        if now >= self.stop_s:
-            return
-        window = self._usable_window()
-        pipe = self._pipe()
-        sent = False
-        if pipe < window:
-            seq = self._next_retransmission()
-            if seq is not None:
-                self._transmit(seq, retransmit=True)
-                sent = True
-            elif (self.snd_nxt < self.max_packets
-                  and self.snd_nxt - self.snd_una < self.rwnd_packets):
-                self._transmit(self.snd_nxt, retransmit=False)
-                self.snd_nxt += 1
-                sent = True
-        if sent:
-            interval = self.packet_bytes * 8.0 / self._pacing_rate_bps
-            self._next_send_s = now + interval
-            self._arm_pacer()
-            self._arm_rto()
-        # If nothing was sendable, the pacer re-arms on the next ACK via
-        # _try_send.
+    @property
+    def _rtt_filter(self) -> Deque[Tuple[float, float]]:
+        return self.controller._rtt_filter

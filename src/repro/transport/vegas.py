@@ -14,96 +14,53 @@ When satellite motion lengthens the path, ``RTT - BaseRTT`` grows with no
 queueing whatsoever, ``diff`` exceeds ``beta``, and Vegas walks its window
 down toward the floor — exactly the collapse of Fig. 5(b)/(c).
 
-Loss handling (fast retransmit / RTO) is inherited from NewReno, matching
-how Vegas implementations layer over a Reno base.
+The algorithm itself lives in :class:`repro.cc.classic.VegasController`
+(loss handling — fast retransmit / RTO — layers over the Reno base,
+matching how Vegas implementations do); this class is the historical
+flow-class spelling: :class:`~repro.transport.tcp.TcpFlow` pinned to a
+``VegasController``, with the Vegas knobs re-exposed as properties.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Optional
-
-from ..obs.trace import FLOW_STATE
-from .tcp import TcpNewRenoFlow
+from ..cc.classic import VegasController
+from .tcp import TcpFlow
 
 __all__ = ["TcpVegasFlow"]
 
 
-class TcpVegasFlow(TcpNewRenoFlow):
+class TcpVegasFlow(TcpFlow):
     """A TCP Vegas flow (Brakmo-Peterson parameters by default).
 
     Args:
         alpha: Lower backlog target (packets).
         beta: Upper backlog target (packets).
         gamma: Slow-start exit threshold (packets).
-        (remaining args as in :class:`TcpNewRenoFlow`)
+        (remaining args as in :class:`~repro.transport.tcp.TcpFlow`)
     """
 
-    MIN_CWND = 2.0
+    MIN_CWND = VegasController.MIN_CWND
 
     def __init__(self, *args, alpha: float = 2.0, beta: float = 4.0,
                  gamma: float = 1.0, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        if not 0.0 <= alpha <= beta:
-            raise ValueError(f"need 0 <= alpha <= beta, got {alpha}, {beta}")
-        self.alpha = alpha
-        self.beta = beta
-        self.gamma = gamma
-        self.base_rtt_s = math.inf
-        self._window_min_rtt_s = math.inf
-        self._next_adjust_s: Optional[float] = None
-        self._in_vegas_slow_start = True
-        self._grow_this_rtt = True  # Vegas doubles every *other* RTT
+        super().__init__(*args, controller=VegasController(
+            alpha=alpha, beta=beta, gamma=gamma), **kwargs)
 
-    def _on_rtt_sample(self, rtt_s: float) -> None:
-        assert self.sim is not None
-        self.base_rtt_s = min(self.base_rtt_s, rtt_s)
-        self._window_min_rtt_s = min(self._window_min_rtt_s, rtt_s)
-        now = self.sim.now
-        if self._next_adjust_s is None:
-            self._next_adjust_s = now + rtt_s
-            return
-        if now >= self._next_adjust_s:
-            self._per_rtt_adjust(self._window_min_rtt_s)
-            self._window_min_rtt_s = math.inf
-            self._next_adjust_s = now + rtt_s
+    # Historical attribute surface, now owned by the controller.
 
-    def _per_rtt_adjust(self, rtt_s: float) -> None:
-        if not math.isfinite(rtt_s) or rtt_s <= 0.0:
-            return
-        # Estimated packets this flow keeps queued in the network.
-        diff = self.cwnd * (rtt_s - self.base_rtt_s) / rtt_s
-        tracer = self._tracer
-        if tracer.enabled:
-            assert self.sim is not None
-            # The backlog estimate is the signal Vegas acts on — the
-            # quantity that misreads LEO path lengthening as congestion.
-            tracer.emit(self.sim.now, FLOW_STATE, flow=self.flow_id,
-                        value=diff, reason="vegas_backlog")
-        if self._in_vegas_slow_start:
-            if diff > self.gamma:
-                self._in_vegas_slow_start = False
-                self.ssthresh = min(self.ssthresh, self.cwnd)
-                if tracer.enabled:
-                    assert self.sim is not None
-                    tracer.emit(self.sim.now, FLOW_STATE, flow=self.flow_id,
-                                value=self.cwnd, reason="vegas_exit_ss")
-            else:
-                self._grow_this_rtt = not self._grow_this_rtt
-            return
-        if diff < self.alpha:
-            self.cwnd += 1.0
-        elif diff > self.beta:
-            self.cwnd = max(self.cwnd - 1.0, self.MIN_CWND)
+    @property
+    def alpha(self) -> float:
+        return self.controller.alpha
 
-    def _increase_on_ack(self, newly_acked: int) -> None:
-        if self._in_vegas_slow_start:
-            if self._grow_this_rtt:
-                self.cwnd += newly_acked
-            return
-        # Congestion avoidance growth is handled per RTT in
-        # _per_rtt_adjust; per-ACK growth stays flat.
+    @property
+    def beta(self) -> float:
+        return self.controller.beta
 
-    def _enter_fast_recovery(self) -> None:
-        super()._enter_fast_recovery()
-        self._in_vegas_slow_start = False
+    @property
+    def gamma(self) -> float:
+        return self.controller.gamma
+
+    @property
+    def base_rtt_s(self) -> float:
+        """Minimum RTT ever observed (Vegas ``BaseRTT``)."""
+        return self.controller.base_rtt_s

@@ -1,63 +1,49 @@
-"""TCP over LEO paths: reliable delivery with pluggable congestion control.
+"""Frozen snapshot of the seed (pre-plug-in) TCP flow classes.
 
-This reproduces the ns-3 TCP behaviour the paper's §4 experiments rely on
-(ns-3 enables SACK by default):
+This module is the pre-PR-10 transport layer, captured verbatim before
+the congestion-control logic was extracted into ``repro.cc`` plug-ins.
+It exists for ONE purpose: the bit-identity regression tests run the
+refactored flows side by side with these frozen classes on identical
+scenarios and require byte-equal cwnd/RTT traces (ISSUE 10 satellite:
+"refactored flows produce bit-identical traces to the seed classes").
 
-* cumulative ACKs carrying up to three SACK blocks, with optional delayed
-  ACKs (the paper attributes the RTT oscillation at the right edge of
-  Fig. 3(a)/5(a) to delayed ACKs);
-* a SACK scoreboard with FACK-style loss marking (a segment is deemed lost
-  once three segments above it have been SACKed, or on three duplicate
-  ACKs), RFC 6675-style pipe accounting during recovery;
-* RFC 6298 retransmission timeouts with Karn backoff, via the shared
-  :class:`repro.cc.RttEstimator`.
-
-The *policy* half — what to do with cwnd and the pacing rate on each ACK,
-loss, RTT sample, or timeout — is delegated to a
-:class:`repro.cc.CongestionController` plug-in selected by registry name
-(``TcpFlow(..., controller="bbr")``); :class:`TcpNewRenoFlow`,
-:class:`~repro.transport.vegas.TcpVegasFlow` and
-:class:`~repro.transport.bbr.TcpBbrFlow` are thin shims pinning the three
-classic controllers and are bit-identical to the pre-plug-in classes
-(gated by ``benchmarks/test_cc_matrix.py``).
-
-The key LEO-specific phenomena emerge without special-casing: when a path
-shortens, later packets overtake earlier ones, the receiver SACKs the
-overtakers, the sender infers loss, and NewReno halves despite zero
-actual loss (paper Fig. 4(c)); when a path lengthens, the RTT inflation is
-misread by delay-based senders (see :mod:`repro.transport.vegas`).
-
-Sequence numbers are in packet units (1 seq = 1 MSS), matching how the
-paper's plots are scaled ("# of packets").
+Do not modernize or de-duplicate this file; it is a fossil on purpose.
 """
 
 from __future__ import annotations
 
+# ----------------------------------------------------------------------
+# seed copy of repro/transport/tcp.py
+# ----------------------------------------------------------------------
+
+
+
 import math
 from functools import partial
-from typing import Callable, List, Optional, Set, Tuple, Union
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from ..cc.api import (CongestionController, RttEstimator, RTO_INITIAL_S,
-                      RTO_MAX_S, RTO_MIN_S, resolve_controller)
-from ..obs.trace import FLOW_CWND, FLOW_RTT
-from ..simulation.packet import DEFAULT_HEADER_BYTES, DEFAULT_MTU_BYTES, Packet
-from ..simulation.simulator import PacketSimulator
-from .base import Application, TimeSeriesLog
+from repro.obs.trace import FLOW_CWND, FLOW_RTT
+from repro.simulation.packet import DEFAULT_HEADER_BYTES, DEFAULT_MTU_BYTES, Packet
+from repro.simulation.simulator import PacketSimulator
+from repro.transport.base import Application, TimeSeriesLog
 
-__all__ = ["TcpFlow", "TcpNewRenoFlow"]
 
 #: Wire size of a pure ACK.
 ACK_BYTES = DEFAULT_HEADER_BYTES
+
+#: RFC 6298 parameters.
+RTO_MIN_S = 0.2
+RTO_MAX_S = 60.0
+RTO_INITIAL_S = 1.0
 
 #: FACK/RFC 6675 duplicate threshold.
 DUP_THRESHOLD = 3
 
 
-class TcpFlow(Application):
-    """A unidirectional TCP flow (sender at src, receiver at dst) driving
-    any registered congestion controller.
+class SeedTcpNewRenoFlow(Application):
+    """A unidirectional TCP flow (sender at src, receiver at dst).
 
     Args:
         src_gid: Sending ground station.
@@ -71,9 +57,6 @@ class TcpFlow(Application):
         rwnd_packets: Receiver advertised window; caps the usable window.
         delayed_ack_count: ACK every Nth in-order packet (1 disables
             delayed ACKs; 2 is the classic delayed-ACK setting).
-        controller: A registered controller name (``"newreno"``,
-            ``"vegas"``, ``"bbr"``, ``"bandit"``, ...) or an unattached
-            :class:`~repro.cc.CongestionController` instance.
 
     Logs (inspect after :meth:`PacketSimulator.run`):
         * :attr:`cwnd_log` — (time, cwnd in packets) on every change;
@@ -88,9 +71,7 @@ class TcpFlow(Application):
                  initial_cwnd_packets: float = 10.0,
                  rwnd_packets: int = 1_000_000,
                  delayed_ack_count: int = 1,
-                 throughput_bin_s: float = 0.1,
-                 controller: Union[str, CongestionController, None] = None,
-                 ) -> None:
+                 throughput_bin_s: float = 0.1) -> None:
         super().__init__()
         if src_gid == dst_gid:
             raise ValueError("source and destination must differ")
@@ -123,16 +104,14 @@ class TcpFlow(Application):
         self._lost: Set[int] = set()
         self._retransmitted: Set[int] = set()
         self._highest_sacked = -1
-        self._rtt = RttEstimator()
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+        self.rto = RTO_INITIAL_S
         self._timer_epoch = 0
         self._timer_armed = False
         self.retransmissions = 0
         self.timeouts = 0
         self.fast_retransmits = 0
-
-        # --- pacing (used when the controller is rate-based) ---
-        self._pacer_armed = False
-        self._next_send_s = 0.0
 
         # --- receiver state ---
         self.rcv_nxt = 0
@@ -157,33 +136,6 @@ class TcpFlow(Application):
 
         self._src_node = -1
         self._dst_node = -1
-
-        #: The congestion-control plug-in steering this flow.
-        self.controller = resolve_controller(controller).attach(self)
-
-    @property
-    def controller_name(self) -> str:
-        """Registry name of the attached controller (report labels)."""
-        return self.controller.name
-
-    # ------------------------------------------------------------------
-    # Shared RTT/RTO estimator (RFC 6298 + Karn backoff)
-    # ------------------------------------------------------------------
-
-    @property
-    def srtt(self) -> Optional[float]:
-        """Smoothed RTT from the shared estimator (None before the
-        first sample)."""
-        return self._rtt.srtt
-
-    @property
-    def rttvar(self) -> float:
-        return self._rtt.rttvar
-
-    @property
-    def rto(self) -> float:
-        """Current retransmission timeout."""
-        return self._rtt.rto
 
     # ------------------------------------------------------------------
     # Installation
@@ -272,17 +224,10 @@ class TcpFlow(Application):
         this reduces to the classic sliding window.  During and after loss
         episodes (including post-RTO slow start) it retransmits
         scoreboard-lost holes before injecting fresh data.
-
-        Rate-based controllers (``controller.paced``) replace the window
-        burst with the pacer: one packet per fire at the controller's
-        pacing rate, still under the in-flight cap.
         """
         assert self.sim is not None
-        if self.sim.now >= self.stop_s:
-            return
-        if self.controller.paced:
-            self._arm_pacer()
-            self._arm_rto()
+        now = self.sim.now
+        if now >= self.stop_s:
             return
         window = self._usable_window()
         pipe = self._pipe()
@@ -319,46 +264,6 @@ class TcpFlow(Application):
         self.sim.send(packet)
 
     # ------------------------------------------------------------------
-    # Pacing (rate-based controllers)
-    # ------------------------------------------------------------------
-
-    def _arm_pacer(self) -> None:
-        if self._pacer_armed:
-            return
-        assert self.sim is not None
-        self._pacer_armed = True
-        delay = max(0.0, self._next_send_s - self.sim.now)
-        self.sim.scheduler.schedule(delay, self._pacer_fire)
-
-    def _pacer_fire(self) -> None:
-        assert self.sim is not None
-        self._pacer_armed = False
-        now = self.sim.now
-        if now >= self.stop_s:
-            return
-        window = self._usable_window()
-        pipe = self._pipe()
-        sent = False
-        if pipe < window:
-            seq = self._next_retransmission()
-            if seq is not None:
-                self._transmit(seq, retransmit=True)
-                sent = True
-            elif (self.snd_nxt < self.max_packets
-                  and self.snd_nxt - self.snd_una < self.rwnd_packets):
-                self._transmit(self.snd_nxt, retransmit=False)
-                self.snd_nxt += 1
-                sent = True
-        if sent:
-            rate_bps = self.controller.pacing_rate_bps or 1.0
-            interval = self.packet_bytes * 8.0 / rate_bps
-            self._next_send_s = now + interval
-            self._arm_pacer()
-            self._arm_rto()
-        # If nothing was sendable, the pacer re-arms on the next ACK via
-        # _try_send.
-
-    # ------------------------------------------------------------------
     # Sender: ACK processing
     # ------------------------------------------------------------------
 
@@ -373,7 +278,7 @@ class TcpFlow(Application):
             if tracer.enabled:
                 tracer.emit(now, FLOW_RTT, flow=self.flow_id, seq=ack,
                             value=sample)
-            self._rtt.observe(sample)
+            self._update_rto_estimate(sample)
             self._on_rtt_sample(sample)
         # Ingest SACK blocks into the scoreboard.
         sack_blocks: Tuple[Tuple[int, int], ...] = getattr(
@@ -396,10 +301,10 @@ class TcpFlow(Application):
             if self.in_recovery:
                 if ack > self.recover_seq:
                     self.in_recovery = False
-                    self.controller.on_recovery_exit(now)
+                    self.cwnd = self.ssthresh
                     self._retransmitted.clear()
             else:
-                self.controller.on_ack(newly_acked, now)
+                self._increase_on_ack(newly_acked)
             self._restart_rto()
             if (self.completed_at_s is None
                     and self.snd_una >= self.max_packets):
@@ -418,23 +323,37 @@ class TcpFlow(Application):
             self._enter_fast_recovery()
         self._log_cwnd()
         self._try_send()
-        self.controller.post_ack(now)
+
+    def _increase_on_ack(self, newly_acked: int) -> None:
+        """Window growth outside recovery; Vegas overrides this."""
+        if self.cwnd < self.ssthresh:
+            self.cwnd += newly_acked  # slow start
+        else:
+            self.cwnd += newly_acked / self.cwnd  # congestion avoidance
 
     def _on_rtt_sample(self, rtt_s: float) -> None:
-        """Per-ACK RTT hook, forwarded to the controller (the shared
-        estimator has already folded the sample)."""
-        assert self.sim is not None
-        self.controller.on_rtt_sample(rtt_s, self.sim.now)
+        """Per-ACK RTT hook; Vegas overrides this."""
 
     def _enter_fast_recovery(self) -> None:
         self.fast_retransmits += 1
-        self.controller.on_loss(self.sim.now if self.sim else 0.0)
+        self.ssthresh = max(self._pipe() / 2.0, 2.0)
+        self.cwnd = self.ssthresh
         self.recover_seq = self.snd_nxt - 1
         self.in_recovery = True
 
     # ------------------------------------------------------------------
     # RTO machinery (RFC 6298)
     # ------------------------------------------------------------------
+
+    def _update_rto_estimate(self, sample_s: float) -> None:
+        if self.srtt is None:
+            self.srtt = sample_s
+            self.rttvar = sample_s / 2.0
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample_s)
+            self.srtt = 0.875 * self.srtt + 0.125 * sample_s
+        self.rto = min(max(self.srtt + 4.0 * self.rttvar, RTO_MIN_S),
+                       RTO_MAX_S)
 
     def _arm_rto(self) -> None:
         if self._timer_armed or self.flight_size == 0:
@@ -459,9 +378,9 @@ class TcpFlow(Application):
         self._timer_armed = False
         if self.flight_size == 0:
             return
-        now = self.sim.now if self.sim else 0.0
         self.timeouts += 1
-        self.controller.on_timeout(now)
+        self.ssthresh = max(self.flight_size / 2.0, 2.0)
+        self.cwnd = 1.0
         self.dup_acks = 0
         self.in_recovery = False
         # Losses up to snd_nxt now belong to this episode; do not trigger a
@@ -474,11 +393,10 @@ class TcpFlow(Application):
                 self._lost.add(seq)
         self._retransmitted.clear()
         self._transmit(self.snd_una, retransmit=True)
-        self._rtt.backoff()  # Karn
+        self.rto = min(self.rto * 2.0, RTO_MAX_S)  # Karn backoff
         self._timer_epoch += 1
         self._schedule_rto()
         self._log_cwnd()
-        self.controller.post_timeout(now)
 
     # ------------------------------------------------------------------
     # Receiver
@@ -578,11 +496,310 @@ class TcpFlow(Application):
             raise ValueError("duration must be positive")
         return self.acked_payload_bytes * 8.0 / duration_s
 
+# ----------------------------------------------------------------------
+# seed copy of repro/transport/vegas.py
+# ----------------------------------------------------------------------
 
-class TcpNewRenoFlow(TcpFlow):
-    """A TCP NewReno flow — :class:`TcpFlow` pinned to the ``"newreno"``
-    controller (the historical class name, kept as the default flow)."""
+
+
+import math
+from typing import Optional
+
+from repro.obs.trace import FLOW_STATE
+
+
+
+
+class SeedTcpVegasFlow(SeedTcpNewRenoFlow):
+    """A TCP Vegas flow (Brakmo-Peterson parameters by default).
+
+    Args:
+        alpha: Lower backlog target (packets).
+        beta: Upper backlog target (packets).
+        gamma: Slow-start exit threshold (packets).
+        (remaining args as in :class:`SeedTcpNewRenoFlow`)
+    """
+
+    MIN_CWND = 2.0
+
+    def __init__(self, *args, alpha: float = 2.0, beta: float = 4.0,
+                 gamma: float = 1.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if not 0.0 <= alpha <= beta:
+            raise ValueError(f"need 0 <= alpha <= beta, got {alpha}, {beta}")
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        self.base_rtt_s = math.inf
+        self._window_min_rtt_s = math.inf
+        self._next_adjust_s: Optional[float] = None
+        self._in_vegas_slow_start = True
+        self._grow_this_rtt = True  # Vegas doubles every *other* RTT
+
+    def _on_rtt_sample(self, rtt_s: float) -> None:
+        assert self.sim is not None
+        self.base_rtt_s = min(self.base_rtt_s, rtt_s)
+        self._window_min_rtt_s = min(self._window_min_rtt_s, rtt_s)
+        now = self.sim.now
+        if self._next_adjust_s is None:
+            self._next_adjust_s = now + rtt_s
+            return
+        if now >= self._next_adjust_s:
+            self._per_rtt_adjust(self._window_min_rtt_s)
+            self._window_min_rtt_s = math.inf
+            self._next_adjust_s = now + rtt_s
+
+    def _per_rtt_adjust(self, rtt_s: float) -> None:
+        if not math.isfinite(rtt_s) or rtt_s <= 0.0:
+            return
+        # Estimated packets this flow keeps queued in the network.
+        diff = self.cwnd * (rtt_s - self.base_rtt_s) / rtt_s
+        tracer = self._tracer
+        if tracer.enabled:
+            assert self.sim is not None
+            # The backlog estimate is the signal Vegas acts on — the
+            # quantity that misreads LEO path lengthening as congestion.
+            tracer.emit(self.sim.now, FLOW_STATE, flow=self.flow_id,
+                        value=diff, reason="vegas_backlog")
+        if self._in_vegas_slow_start:
+            if diff > self.gamma:
+                self._in_vegas_slow_start = False
+                self.ssthresh = min(self.ssthresh, self.cwnd)
+                if tracer.enabled:
+                    assert self.sim is not None
+                    tracer.emit(self.sim.now, FLOW_STATE, flow=self.flow_id,
+                                value=self.cwnd, reason="vegas_exit_ss")
+            else:
+                self._grow_this_rtt = not self._grow_this_rtt
+            return
+        if diff < self.alpha:
+            self.cwnd += 1.0
+        elif diff > self.beta:
+            self.cwnd = max(self.cwnd - 1.0, self.MIN_CWND)
+
+    def _increase_on_ack(self, newly_acked: int) -> None:
+        if self._in_vegas_slow_start:
+            if self._grow_this_rtt:
+                self.cwnd += newly_acked
+            return
+        # Congestion avoidance growth is handled per RTT in
+        # _per_rtt_adjust; per-ACK growth stays flat.
+
+    def _enter_fast_recovery(self) -> None:
+        super()._enter_fast_recovery()
+        self._in_vegas_slow_start = False
+
+# ----------------------------------------------------------------------
+# seed copy of repro/transport/bbr.py
+# ----------------------------------------------------------------------
+
+
+
+import math
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.obs.trace import FLOW_STATE
+from repro.simulation.simulator import PacketSimulator
+
+
+
+#: STARTUP/DRAIN pacing gains (2/ln2 and its inverse).
+STARTUP_GAIN = 2.885
+DRAIN_GAIN = 1.0 / STARTUP_GAIN
+
+#: PROBE_BW gain cycle.
+PROBE_BW_GAINS = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+
+#: Windows for the two filters.
+BW_WINDOW_ROUNDS = 10
+MIN_RTT_WINDOW_S = 10.0
+
+
+class SeedTcpBbrFlow(SeedTcpNewRenoFlow):
+    """A (simplified) BBR flow between two ground stations.
+
+    Accepts the same arguments as :class:`SeedTcpNewRenoFlow`.  The inherited
+    ``cwnd`` is maintained at BBR's in-flight cap (``2 x BtlBw x RTprop``
+    in packets); sending is paced rather than window-burst.
+    """
+
+    MIN_CWND = 4.0
 
     def __init__(self, *args, **kwargs) -> None:
-        kwargs.setdefault("controller", "newreno")
         super().__init__(*args, **kwargs)
+        self._mode = "startup"
+        self._pacing_rate_bps = 10.0 * self.packet_bytes * 8.0  # bootstrap
+        self._bw_filter: Deque[Tuple[float, float]] = deque()
+        self._rtt_filter: Deque[Tuple[float, float]] = deque()
+        self._cycle_index = 0
+        self._cycle_started_s = 0.0
+        self._full_bw = 0.0
+        self._full_bw_rounds = 0
+        self._delivered_at_round_start = 0
+        self._round_start_s = 0.0
+        self._pacer_armed = False
+        self._next_send_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Filters and model
+    # ------------------------------------------------------------------
+
+    @property
+    def btl_bw_bps(self) -> float:
+        """Current bottleneck-bandwidth estimate (windowed max)."""
+        if not self._bw_filter:
+            return self._pacing_rate_bps
+        return max(bw for _, bw in self._bw_filter)
+
+    @property
+    def rt_prop_s(self) -> float:
+        """Current round-trip propagation estimate (windowed min)."""
+        if not self._rtt_filter:
+            return self.srtt if self.srtt is not None else 0.1
+        return min(rtt for _, rtt in self._rtt_filter)
+
+    def _bdp_packets(self) -> float:
+        return max(1.0, self.btl_bw_bps * self.rt_prop_s
+                   / (self.packet_bytes * 8.0))
+
+    def _on_rtt_sample(self, rtt_s: float) -> None:
+        assert self.sim is not None
+        now = self.sim.now
+        self._rtt_filter.append((now, rtt_s))
+        while self._rtt_filter and \
+                self._rtt_filter[0][0] < now - MIN_RTT_WINDOW_S:
+            self._rtt_filter.popleft()
+        # One delivery-rate sample per round trip.
+        round_duration = now - self._round_start_s
+        if round_duration >= (self.srtt or rtt_s):
+            delivered_packets = self.snd_una - self._delivered_at_round_start
+            if delivered_packets > 0 and round_duration > 0:
+                bw = (delivered_packets * self.packet_bytes * 8.0
+                      / round_duration)
+                self._bw_filter.append((now, bw))
+                window = BW_WINDOW_ROUNDS * max(self.srtt or rtt_s, 1e-3)
+                while self._bw_filter and \
+                        self._bw_filter[0][0] < now - window:
+                    self._bw_filter.popleft()
+                self._advance_state_machine(bw)
+            self._delivered_at_round_start = self.snd_una
+            self._round_start_s = now
+        self._update_model()
+
+    def _advance_state_machine(self, latest_bw_bps: float) -> None:
+        assert self.sim is not None
+        now = self.sim.now
+        if self._mode == "startup":
+            if latest_bw_bps > self._full_bw * 1.25:
+                self._full_bw = latest_bw_bps
+                self._full_bw_rounds = 0
+            else:
+                self._full_bw_rounds += 1
+                if self._full_bw_rounds >= 3:
+                    self._set_mode("drain")
+        elif self._mode == "drain":
+            if self.flight_size <= self._bdp_packets():
+                self._set_mode("probe_bw")
+                self._cycle_index = 0
+                self._cycle_started_s = now
+        elif self._mode == "probe_bw":
+            if now - self._cycle_started_s >= self.rt_prop_s:
+                self._cycle_index = (self._cycle_index + 1) \
+                    % len(PROBE_BW_GAINS)
+                self._cycle_started_s = now
+
+    def _set_mode(self, mode: str) -> None:
+        """Transition the BBR state machine, tracing the change."""
+        self._mode = mode
+        tracer = self._tracer
+        if tracer.enabled:
+            assert self.sim is not None
+            tracer.emit(self.sim.now, FLOW_STATE, flow=self.flow_id,
+                        value=self.btl_bw_bps, reason=f"bbr_{mode}")
+
+    def _pacing_gain(self) -> float:
+        if self._mode == "startup":
+            return STARTUP_GAIN
+        if self._mode == "drain":
+            return DRAIN_GAIN
+        return PROBE_BW_GAINS[self._cycle_index]
+
+    def _update_model(self) -> None:
+        self._pacing_rate_bps = max(
+            self._pacing_gain() * self.btl_bw_bps,
+            2.0 * self.packet_bytes * 8.0 / max(self.rt_prop_s, 1e-3))
+        # In-flight cap: 2 x BDP (cwnd_gain = 2).
+        self.cwnd = max(self.MIN_CWND, 2.0 * self._bdp_packets())
+        self.ssthresh = self.cwnd  # keep the base's bookkeeping harmless
+
+    # ------------------------------------------------------------------
+    # Rate-based loss response (BBR ignores loss for its rate model)
+    # ------------------------------------------------------------------
+
+    def _increase_on_ack(self, newly_acked: int) -> None:
+        pass  # the model, not ACK counting, sets cwnd
+
+    def _enter_fast_recovery(self) -> None:
+        # Keep the scoreboard/retransmission state machine, skip the
+        # multiplicative decrease.
+        self.fast_retransmits += 1
+        self.recover_seq = self.snd_nxt - 1
+        self.in_recovery = True
+
+    def _on_ack(self, packet) -> None:
+        super()._on_ack(packet)
+        # Undo any cwnd mutation the base recovery/exit logic applied.
+        self._update_model()
+
+    def _on_rto(self, epoch: int) -> None:
+        cwnd_before = self.cwnd
+        super()._on_rto(epoch)
+        if self.cwnd < cwnd_before:
+            self.cwnd = max(self.MIN_CWND, cwnd_before / 2.0)
+
+    # ------------------------------------------------------------------
+    # Pacing
+    # ------------------------------------------------------------------
+
+    def _try_send(self) -> None:
+        assert self.sim is not None
+        if self.sim.now >= self.stop_s:
+            return
+        self._arm_pacer()
+        self._arm_rto()
+
+    def _arm_pacer(self) -> None:
+        if self._pacer_armed:
+            return
+        assert self.sim is not None
+        self._pacer_armed = True
+        delay = max(0.0, self._next_send_s - self.sim.now)
+        self.sim.scheduler.schedule(delay, self._pacer_fire)
+
+    def _pacer_fire(self) -> None:
+        assert self.sim is not None
+        self._pacer_armed = False
+        now = self.sim.now
+        if now >= self.stop_s:
+            return
+        window = self._usable_window()
+        pipe = self._pipe()
+        sent = False
+        if pipe < window:
+            seq = self._next_retransmission()
+            if seq is not None:
+                self._transmit(seq, retransmit=True)
+                sent = True
+            elif (self.snd_nxt < self.max_packets
+                  and self.snd_nxt - self.snd_una < self.rwnd_packets):
+                self._transmit(self.snd_nxt, retransmit=False)
+                self.snd_nxt += 1
+                sent = True
+        if sent:
+            interval = self.packet_bytes * 8.0 / self._pacing_rate_bps
+            self._next_send_s = now + interval
+            self._arm_pacer()
+            self._arm_rto()
+        # If nothing was sendable, the pacer re-arms on the next ACK via
+        # _try_send.
